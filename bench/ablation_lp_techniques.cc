@@ -1,0 +1,84 @@
+// Ablation: the promotion-reduction techniques §5 lists next to strict LP.
+//
+// "Several other techniques are often used to reduce promotion and improve
+// scalability, e.g., periodic promotion, batched promotion, promoting old
+// objects only, promoting with try-lock. Although these techniques do not
+// fall into our strict definition of Lazy Promotion, many of them
+// effectively retain popular objects from being evicted."
+//
+// Measured: mean miss ratio across the registry for LRU, batched-promotion
+// LRU, promote-old-only LRU, FIFO-Reinsertion (strict LP), 2-bit CLOCK, and
+// FIFO — together with each policy's per-hit promotion work (from
+// bench/micro_policies). The claim to check: the relaxed variants track LRU
+// closely while strict LP matches or beats it.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/sim/sweep.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace qdlp {
+namespace {
+
+int Run() {
+  const auto traces = LoadRegistry(0.2);
+
+  SweepConfig config;
+  config.policies = {"fifo",        "lru",           "lru-batched",
+                     "lru-promote-old", "fifo-reinsertion", "clock2"};
+  config.size_fractions = {0.001, 0.10};
+  config.num_threads = SweepThreads();
+  const auto points = RunSweep(traces, config);
+
+  for (const double fraction : config.size_fractions) {
+    std::cout << "\nPromotion-technique ablation, cache = "
+              << TablePrinter::FmtPercent(fraction, 1)
+              << " of objects: mean miss ratio and mean reduction vs FIFO\n";
+    TablePrinter table({"policy", "promotion work per hit", "mean miss ratio",
+                        "mean reduction vs fifo"});
+    const auto describe = [](const std::string& policy) -> std::string {
+      if (policy == "fifo") {
+        return "none";
+      }
+      if (policy == "lru") {
+        return "6 pointers, every hit";
+      }
+      if (policy == "lru-batched") {
+        return "6 pointers, 1/64 hits amortized";
+      }
+      if (policy == "lru-promote-old") {
+        return "6 pointers, old objects only";
+      }
+      return "1 counter write";  // reinsertion / clock
+    };
+    for (const auto& policy : config.policies) {
+      StreamingStats mr;
+      for (const auto& point : points) {
+        if (point.policy == policy && point.size_fraction == fraction) {
+          mr.Add(point.miss_ratio);
+        }
+      }
+      StreamingStats reduction;
+      for (const double r :
+           ReductionsVsBaseline(points, policy, "fifo", fraction)) {
+        reduction.Add(r);
+      }
+      table.AddRow({policy, describe(policy), TablePrinter::Fmt(mr.mean(), 4),
+                    TablePrinter::FmtPercent(reduction.mean(), 2)});
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected shape: lru-batched and lru-promote-old within a "
+               "hair of lru; fifo-reinsertion/clock2 beat all three with "
+               "less promotion work than any of them.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace qdlp
+
+int main() { return qdlp::Run(); }

@@ -1,0 +1,43 @@
+// Shared helpers for the experiment harnesses (bench/ binaries).
+//
+// Every harness regenerates one table or figure of the paper and prints it
+// as an aligned text table. Scale knobs:
+//   QDLP_SCALE    multiplies the default registry scale (default 1.0);
+//                 4.0 ~= 2x more traces of 2x the length.
+//   QDLP_THREADS  worker threads for sweeps (default: hardware concurrency).
+
+#ifndef QDLP_BENCH_BENCH_COMMON_H_
+#define QDLP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/trace/registry.h"
+#include "src/trace/trace.h"
+#include "src/util/env.h"
+
+namespace qdlp {
+
+// Materializes the Table-1 registry at `base_scale * QDLP_SCALE`.
+inline std::vector<Trace> LoadRegistry(double base_scale) {
+  const double scale = base_scale * GetEnvDouble("QDLP_SCALE", 1.0);
+  std::fprintf(stderr, "[qdlp] materializing trace registry at scale %.3f...\n",
+               scale);
+  auto traces = MaterializeRegistry(scale);
+  size_t total_requests = 0;
+  for (const auto& trace : traces) {
+    total_requests += trace.requests.size();
+  }
+  std::fprintf(stderr, "[qdlp] %zu traces, %zu total requests\n", traces.size(),
+               total_requests);
+  return traces;
+}
+
+inline size_t SweepThreads() {
+  return static_cast<size_t>(GetEnvInt("QDLP_THREADS", 0));
+}
+
+}  // namespace qdlp
+
+#endif  // QDLP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,108 @@
+// Figure 3 + Table 2: cache resource consumption by object popularity.
+//
+// Two representative traces (MSR-like block, Twitter-like KV), four
+// algorithms (LRU, ARC, LHD, Belady). For each, print the share of total
+// cache space-time spent on each popularity decile (decile 1 = most popular
+// 10% of objects) and the miss ratio (Table 2).
+//
+// Shape to reproduce: ARC and LHD spend less on unpopular objects than LRU;
+// Belady spends the least and has the lowest miss ratio; the algorithms
+// order LRU > LHD/ARC > Belady in tail spending, and miss ratios follow.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/sim/residency.h"
+#include "src/sim/simulator.h"
+#include "src/trace/registry.h"
+#include "src/util/env.h"
+#include "src/util/table.h"
+
+namespace qdlp {
+namespace {
+
+Trace MsrLikeTrace(double scale) {
+  const auto specs = Table1Datasets();
+  return MakeTrace(specs[0], 0, scale);  // msr family
+}
+
+Trace TwitterLikeTrace(double scale) {
+  const auto specs = Table1Datasets();
+  return MakeTrace(specs[8], 0, scale);  // twitter family
+}
+
+void RunOne(const std::string& label, const Trace& trace) {
+  // The paper's Fig 3/Table 2 use a fixed (large-ish) cache size; we use 10%
+  // of unique objects.
+  const size_t cache_size = CacheSizeForFraction(trace, 0.10);
+  std::cout << "\n=== " << label << " (" << trace.requests.size()
+            << " requests, " << trace.num_objects << " objects, cache "
+            << cache_size << ") ===\n";
+
+  const std::vector<std::string> policies = {"lru", "arc", "lhd", "belady"};
+  std::vector<ResidencyReport> reports;
+  reports.reserve(policies.size());
+  for (const auto& policy : policies) {
+    reports.push_back(RunResidencyExperiment(policy, trace, cache_size));
+  }
+
+  std::cout << "Figure 3: share of cache space-time by popularity decile\n";
+  std::vector<std::string> header = {"decile"};
+  for (const auto& policy : policies) {
+    header.push_back(policy);
+  }
+  TablePrinter table(header);
+  for (size_t decile = 0; decile < kNumDeciles; ++decile) {
+    std::vector<std::string> row = {
+        decile == 0 ? "1 (hot)" : decile == kNumDeciles - 1
+                                      ? "10 (cold)"
+                                      : std::to_string(decile + 1)};
+    for (const auto& report : reports) {
+      row.push_back(TablePrinter::FmtPercent(report.decile_share[decile], 1));
+    }
+    table.AddRow(row);
+  }
+  // Aggregate: resource share spent on the unpopular half.
+  std::vector<std::string> tail_row = {"cold half (6-10)"};
+  for (const auto& report : reports) {
+    double tail = 0.0;
+    for (size_t decile = 5; decile < kNumDeciles; ++decile) {
+      tail += report.decile_share[decile];
+    }
+    tail_row.push_back(TablePrinter::FmtPercent(tail, 1));
+  }
+  table.AddRow(tail_row);
+  table.Print(std::cout);
+  table.MaybeExportCsv("fig3_deciles_" + label.substr(0, 3));
+
+  std::cout << "Table 2: miss ratios\n";
+  std::vector<std::string> t2_header = header;
+  t2_header[0] = "metric";
+  TablePrinter t2(t2_header);
+  std::vector<std::string> mr_row = {"miss ratio"};
+  for (const auto& report : reports) {
+    mr_row.push_back(TablePrinter::Fmt(report.miss_ratio, 4));
+  }
+  t2.AddRow(mr_row);
+  t2.Print(std::cout);
+  t2.MaybeExportCsv("table2_" + label.substr(0, 3));
+}
+
+int Run() {
+  const double scale = GetEnvDouble("QDLP_SCALE", 1.0);
+  RunOne("MSR-like block trace", MsrLikeTrace(scale));
+  RunOne("Twitter-like KV trace", TwitterLikeTrace(scale));
+  std::cout << "\nPaper reference (Table 2): MSR LRU 0.5263 ARC 0.4899 LHD "
+               "0.5131 Belady 0.4438; Twitter LRU 0.2005 ARC 0.1841 LHD "
+               "0.1756 Belady 0.1309.\nOur absolute values differ (synthetic "
+               "traces); the ordering and the \"efficient algorithms spend "
+               "less on unpopular objects\" shape are the reproduction "
+               "target.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace qdlp
+
+int main() { return qdlp::Run(); }

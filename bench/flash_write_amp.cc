@@ -1,0 +1,74 @@
+// §2 flash-friendliness: miss ratio vs device write amplification.
+//
+// "FIFO is always the first choice when implementing a flash cache because
+// it does not incur write amplification." This harness replays block- and
+// web-like workloads through the log-structured flash model and prints the
+// two-axis trade-off for FIFO / 1-bit CLOCK / 2-bit CLOCK / QD-LP-FIFO /
+// exact LRU à la RIPQ (sequential log, retained objects rewritten per lap) /
+// LRU with greedy hole-collecting GC. Expected shape: FIFO pins WA at 1.0
+// with the worst miss ratio; RIPQ-LRU pays the most flash writes; the LP/QD
+// designs take most of LRU's miss-ratio win at a fraction of its write
+// cost. (The greedy-GC LRU is the honest nuance: with a full RAM index and
+// 25% over-provisioning its WA is modest — but it gives up sequential-only
+// writes, which is itself a flash-endurance cost the model does not price.)
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "src/flash/flash_model.h"
+#include "src/trace/registry.h"
+#include "src/util/env.h"
+#include "src/util/table.h"
+
+namespace qdlp {
+namespace {
+
+void RunOne(const std::string& label, const Trace& trace) {
+  const size_t capacity = std::max<size_t>(
+      100, static_cast<size_t>(trace.num_objects / 10));  // the 10% point
+  const size_t segment = std::max<size_t>(10, capacity / 20);
+  std::cout << "\n=== " << label << " (" << trace.requests.size()
+            << " requests, " << trace.num_objects << " objects, cache "
+            << capacity << ", segment " << segment << ") ===\n";
+
+  std::vector<std::unique_ptr<FlashCache>> caches;
+  caches.push_back(std::make_unique<LogFlashCache>(capacity, segment, 0));
+  caches.push_back(std::make_unique<LogFlashCache>(capacity, segment, 1));
+  caches.push_back(std::make_unique<LogFlashCache>(capacity, segment, 2));
+  caches.push_back(std::make_unique<QdLpFlashCache>(capacity, segment));
+  caches.push_back(std::make_unique<RipqLruFlashCache>(capacity, segment));
+  caches.push_back(std::make_unique<LruFlashCache>(capacity, segment));
+
+  TablePrinter table({"design", "miss ratio", "write amp", "flash writes(k)",
+                      "segments erased"});
+  for (auto& cache : caches) {
+    for (const ObjectId id : trace.requests) {
+      cache->Access(id);
+    }
+    const FlashStats& stats = cache->stats();
+    table.AddRow({cache->name(), TablePrinter::Fmt(stats.miss_ratio(), 4),
+                  TablePrinter::Fmt(stats.write_amplification(), 3),
+                  std::to_string(stats.flash_writes / 1000),
+                  std::to_string(stats.segments_erased)});
+  }
+  table.Print(std::cout);
+  table.MaybeExportCsv("flash_" + label.substr(0, label.find(' ')));
+}
+
+int Run() {
+  const double scale = GetEnvDouble("QDLP_SCALE", 1.0);
+  const auto specs = Table1Datasets();
+  RunOne("block (msr-like)", MakeTrace(specs[0], 1, scale));
+  RunOne("web (cdn-like)", MakeTrace(specs[3], 1, scale));
+  std::cout << "\n§2's argument quantified: LRU's eager promotion turns into "
+               "GC rewrites on flash; the FIFO family's lazy promotion is "
+               "(at most) one re-append per retained object, and quick "
+               "demotion drops dead objects with their segment for free.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace qdlp
+
+int main() { return qdlp::Run(); }

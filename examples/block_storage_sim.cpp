@@ -1,0 +1,58 @@
+// Scenario: enterprise block storage (the MSR/FIU-style workloads of §4).
+//
+// Block caches suffer from scans and loops: long runs of blocks touched once
+// (backup jobs, table scans) that flush an LRU. This example builds a
+// scan-heavy block workload and prints a miss-ratio curve for LRU, ARC,
+// LIRS, and QD-LP-FIFO — showing how Quick Demotion keeps scans from
+// polluting the cache at every size.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/mrc.h"
+#include "src/trace/generators.h"
+
+int main() {
+  using namespace qdlp;
+
+  ScanLoopConfig config;
+  config.num_requests = 300000;
+  config.hot_objects = 20000;
+  config.hot_skew = 0.9;
+  config.scan_start_probability = 0.003;
+  config.loop_start_probability = 0.001;
+  config.seed = 7;
+  const Trace trace = GenerateScanLoop(config);
+  std::printf("block workload: %zu requests, %llu distinct blocks\n\n",
+              trace.requests.size(),
+              static_cast<unsigned long long>(trace.num_objects));
+
+  const std::vector<double> fractions = {0.005, 0.01, 0.02, 0.05, 0.10, 0.20};
+  const std::vector<std::string> policies = {"lru", "arc", "lirs",
+                                             "qd-lp-fifo"};
+
+  std::printf("%-12s", "cache size");
+  for (const auto& policy : policies) {
+    std::printf("%12s", policy.c_str());
+  }
+  std::printf("\n");
+  std::vector<std::vector<MrcPoint>> curves;
+  curves.reserve(policies.size());
+  for (const auto& policy : policies) {
+    curves.push_back(ComputeMrc(policy, trace, fractions));
+  }
+  for (size_t i = 0; i < fractions.size(); ++i) {
+    std::printf("%10.1f%%", fractions[i] * 100.0);
+    for (const auto& curve : curves) {
+      std::printf("%12.4f", curve[i].miss_ratio);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nReading the curve: LRU pays for every scan block traversing the\n"
+      "whole queue; ARC/LIRS resist scans; QD-LP-FIFO gets the same effect\n"
+      "with three FIFO queues and a 10%% probationary filter.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Scenario: CDN edge cache (the web workloads of §4).
+//
+// CDN traffic mixes popular objects with masses of one-hit wonders (dynamic
+// pages, versioned assets, short TTLs). This example builds a QD cache
+// explicitly — probationary FIFO + ghost + a main policy of your choice —
+// replays a CDN-like workload, and prints the internal QD flow counters:
+// how many objects were quick-demoted after one lap, how many earned lazy
+// promotion, and how many came back through the ghost.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/core/policy_factory.h"
+#include "src/core/qd_cache.h"
+#include "src/sim/simulator.h"
+#include "src/trace/generators.h"
+
+int main() {
+  using namespace qdlp;
+
+  PopularityDecayConfig config;
+  config.num_requests = 400000;
+  config.one_hit_wonder_fraction = 0.25;  // aggressive dynamic content
+  config.recency_skew = 0.8;
+  config.initial_objects = 4000;
+  config.seed = 99;
+  const Trace trace = GeneratePopularityDecay(config);
+  const size_t cache_size = trace.num_objects / 10;
+  std::printf("CDN workload: %zu requests, %llu objects, cache %zu\n\n",
+              trace.requests.size(),
+              static_cast<unsigned long long>(trace.num_objects), cache_size);
+
+  for (const std::string base : {"clock2", "arc", "lru"}) {
+    auto policy = MakeQdPolicy(base, cache_size);
+    auto* qd = static_cast<QdCache*>(policy.get());
+    const SimResult result = ReplayTrace(*policy, trace);
+    const SimResult plain = SimulatePolicy(base, trace, cache_size);
+    std::printf("qd-%-8s miss ratio %.4f (plain %s: %.4f)\n", base.c_str(),
+                result.miss_ratio(), base.c_str(), plain.miss_ratio());
+    std::printf("  quick demotions: %llu (objects filtered after one FIFO lap)\n",
+                static_cast<unsigned long long>(qd->quick_demotions()));
+    std::printf("  lazy promotions: %llu (earned a slot in the main cache)\n",
+                static_cast<unsigned long long>(qd->promotions()));
+    std::printf("  ghost rescues:   %llu (demoted too fast, re-admitted)\n\n",
+                static_cast<unsigned long long>(qd->ghost_admissions()));
+  }
+
+  std::printf(
+      "The probationary FIFO absorbs the one-hit wonders: most objects are\n"
+      "demoted after a single lap and never touch the main cache, which is\n"
+      "exactly the \"quick demotion\" the paper shows state-of-the-art\n"
+      "algorithms are missing.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Tool: materialize the synthetic Table-1 registry to disk.
+//
+//   $ ./examples/export_registry <output_dir> [scale]
+//
+// Writes every registry trace in the qdlp binary format (readable by
+// examples/replay_trace and trace_io.h), so external tools — or other cache
+// simulators — can consume the exact workloads the benches use.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "src/trace/registry.h"
+#include "src/trace/trace_io.h"
+
+int main(int argc, char** argv) {
+  using namespace qdlp;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <output_dir> [scale=0.25]\n", argv[0]);
+    return 2;
+  }
+  const std::string out_dir = argv[1];
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+  if (scale <= 0.0) {
+    std::fprintf(stderr, "error: scale must be > 0\n");
+    return 2;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  size_t written = 0;
+  uint64_t total_requests = 0;
+  for (const DatasetSpec& spec : Table1Datasets()) {
+    const int count = TraceCountAtScale(spec, scale);
+    for (int i = 0; i < count; ++i) {
+      const Trace trace = MakeTrace(spec, i, scale);
+      char name[64];
+      std::snprintf(name, sizeof(name), "%s_%03d.bin", spec.name.c_str(), i);
+      const std::string path = out_dir + "/" + name;
+      if (!WriteTraceBinary(trace, path)) {
+        std::fprintf(stderr, "error: failed to write %s\n", path.c_str());
+        return 1;
+      }
+      ++written;
+      total_requests += trace.requests.size();
+    }
+  }
+  std::printf("wrote %zu traces (%llu requests total) to %s\n", written,
+              static_cast<unsigned long long>(total_requests), out_dir.c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 2(e): why Lazy Promotion also quickens demotion.
+//
+// Under LRU, a newly-inserted cold object is pushed toward eviction only by
+// (1) new insertions and (2) cached objects re-requested *after* it. Under
+// FIFO-Reinsertion the queue does not reorder on hits, so objects requested
+// *before* the newcomer also flow past it at eviction time — the newcomer
+// reaches the eviction point sooner. This demo measures exactly that: the
+// number of requests a never-re-referenced object survives after insertion.
+
+#include <cstdio>
+
+#include "src/policies/clock.h"
+#include "src/policies/eviction_policy.h"
+#include "src/policies/lru.h"
+#include "src/util/random.h"
+#include "src/util/zipf.h"
+
+namespace {
+
+// Inserts a marked cold object into a warmed cache, then keeps requesting
+// the hot set (no new insertions beyond the periodic churn) and counts how
+// long the cold object stays resident.
+uint64_t DemotionTime(qdlp::EvictionPolicy& cache, uint64_t seed) {
+  using qdlp::ObjectId;
+  constexpr ObjectId kColdObject = 1u << 30;
+  constexpr uint64_t kHotObjects = 500;
+  qdlp::Rng rng(seed);
+  qdlp::ZipfSampler zipf(kHotObjects, 1.0);
+  // Warm up with the hot set.
+  for (int i = 0; i < 20000; ++i) {
+    cache.Access(zipf.Sample(rng));
+  }
+  cache.Access(kColdObject);
+  uint64_t survived = 0;
+  ObjectId churn = (1u << 30) + 1;
+  while (cache.Contains(kColdObject) && survived < 1000000) {
+    // 95% hot traffic, 5% new objects (the demotion pressure).
+    if (rng.NextBool(0.05)) {
+      cache.Access(churn++);
+    } else {
+      cache.Access(zipf.Sample(rng));
+    }
+    ++survived;
+  }
+  return survived;
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kCapacity = 400;
+  std::printf(
+      "How long does a one-hit wonder occupy cache space? (requests survived\n"
+      "after insertion; cache = %zu objects, 95%% hot traffic / 5%% churn)\n\n",
+      kCapacity);
+  double lru_total = 0;
+  double clock_total = 0;
+  constexpr int kTrials = 10;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    qdlp::LruPolicy lru(kCapacity);
+    qdlp::ClockPolicy clock(kCapacity, 1);
+    lru_total += static_cast<double>(DemotionTime(lru, 100 + trial));
+    clock_total += static_cast<double>(DemotionTime(clock, 100 + trial));
+  }
+  std::printf("LRU:               %8.0f requests (mean of %d trials)\n",
+              lru_total / kTrials, kTrials);
+  std::printf("FIFO-Reinsertion:  %8.0f requests (mean of %d trials)\n\n",
+              clock_total / kTrials, kTrials);
+  std::printf(
+      "FIFO-Reinsertion demotes the dead object sooner: hot objects\n"
+      "requested before it do not jump over it (no eager promotion), so its\n"
+      "position decays with every eviction sweep — Lazy Promotion implies\n"
+      "Quicker Demotion (Fig. 2e).\n");
+  return 0;
+}

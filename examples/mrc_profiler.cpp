@@ -1,0 +1,79 @@
+// Scenario: cache-capacity planning with miss-ratio curves.
+//
+// Three ways to get an LRU MRC, from most to least expensive:
+//   1. simulate LRU once per candidate size          (what Fig 2/5 sweeps do)
+//   2. one Mattson stack-distance pass, exact at ALL sizes
+//   3. SHARDS: profile a 5% hashed sample of objects  (production-grade)
+// This example runs all three on a web workload and prints the curves plus
+// timings, demonstrating the src/sim profiling substrate.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "src/policies/lru.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stack_distance.h"
+#include "src/trace/generators.h"
+
+int main() {
+  using namespace qdlp;
+  using Clock = std::chrono::steady_clock;
+
+  ZipfTraceConfig config;
+  config.num_requests = 400000;
+  config.num_objects = 50000;
+  config.skew = 0.85;
+  config.seed = 31337;
+  const Trace trace = GenerateZipf(config);
+  std::printf("workload: %zu requests, %llu objects\n\n",
+              trace.requests.size(),
+              static_cast<unsigned long long>(trace.num_objects));
+
+  const std::vector<uint64_t> sizes = {100,  500,   2000,  5000,
+                                       10000, 20000, 40000};
+
+  // 1. Direct simulation, one LRU run per size.
+  const auto t0 = Clock::now();
+  std::vector<double> direct;
+  for (const uint64_t size : sizes) {
+    LruPolicy lru(size);
+    direct.push_back(ReplayTrace(lru, trace).miss_ratio());
+  }
+  const auto t1 = Clock::now();
+
+  // 2. One exact Mattson pass.
+  StackDistanceProfiler mattson;
+  for (const ObjectId id : trace.requests) {
+    mattson.Record(id);
+  }
+  const auto t2 = Clock::now();
+
+  // 3. SHARDS with a 5% spatial sample.
+  ShardsProfiler shards(0.05);
+  for (const ObjectId id : trace.requests) {
+    shards.Record(id);
+  }
+  const auto t3 = Clock::now();
+
+  std::printf("%12s %12s %12s %12s\n", "cache size", "simulated", "mattson",
+              "shards 5%");
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    std::printf("%12llu %12.4f %12.4f %12.4f\n",
+                static_cast<unsigned long long>(sizes[i]), direct[i],
+                mattson.MissRatioAt(sizes[i]), shards.MissRatioAt(sizes[i]));
+  }
+
+  const auto ms = [](auto a, auto b) {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(b - a).count();
+  };
+  std::printf(
+      "\ntimings: %lld ms for %zu simulations, %lld ms for one exact pass, "
+      "%lld ms for the 5%% sample\n",
+      static_cast<long long>(ms(t0, t1)), sizes.size(),
+      static_cast<long long>(ms(t1, t2)), static_cast<long long>(ms(t2, t3)));
+  std::printf(
+      "The Mattson column is exact (it must match 'simulated' to the digit);\n"
+      "SHARDS trades a little accuracy for a ~20x cheaper pass.\n");
+  return 0;
+}

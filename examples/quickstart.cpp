@@ -1,0 +1,51 @@
+// Quickstart: build caches by name, feed them requests, read hit ratios.
+//
+//   $ ./examples/quickstart
+//
+// Shows the three-line API: MakePolicy(name, capacity) -> Access(id) ->
+// miss ratio, and compares FIFO, LRU, and the paper's QD-LP-FIFO on a
+// Zipf-with-churn workload.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/policy_factory.h"
+#include "src/sim/simulator.h"
+#include "src/trace/generators.h"
+
+int main() {
+  using namespace qdlp;
+
+  // A web-like workload: Zipf popularity with decay and one-hit wonders.
+  PopularityDecayConfig config;
+  config.num_requests = 200000;
+  config.one_hit_wonder_fraction = 0.15;
+  config.seed = 42;
+  const Trace trace = GeneratePopularityDecay(config);
+  std::printf("workload: %zu requests over %llu distinct objects\n",
+              trace.requests.size(),
+              static_cast<unsigned long long>(trace.num_objects));
+
+  const size_t cache_size = trace.num_objects / 20;  // 5% of objects
+  std::printf("cache size: %zu objects\n\n", cache_size);
+
+  for (const std::string name :
+       {"fifo", "lru", "fifo-reinsertion", "arc", "qd-lp-fifo"}) {
+    auto cache = MakePolicy(name, cache_size);
+    uint64_t hits = 0;
+    for (const ObjectId id : trace.requests) {
+      hits += cache->Access(id) ? 1 : 0;  // true = cache hit
+    }
+    const double miss_ratio =
+        1.0 - static_cast<double>(hits) / static_cast<double>(trace.requests.size());
+    std::printf("%-18s miss ratio %.4f\n", name.c_str(), miss_ratio);
+  }
+
+  std::printf(
+      "\nqd-lp-fifo = probationary FIFO (10%%) + ghost FIFO + 2-bit CLOCK:\n"
+      "three FIFO queues, one metadata bit per hit, no locking — and a miss\n"
+      "ratio at or below the LRU-based designs.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Scenario: social-network in-memory KV cache (§3's footnote-3 datasets).
+//
+// First-layer KV caches see high per-object reuse — "most objects are
+// accessed more than once" — which is where the paper found one reference
+// bit insufficient: FIFO-Reinsertion can only distinguish touched from
+// untouched, so on a high-reuse workload nearly everything looks touched.
+// The second bit separates "touched once" from "genuinely hot". This
+// example sweeps CLOCK bit-widths (and LRU/QD-LP-FIFO for context) on a
+// high-reuse KV workload and on a low-reuse CDN workload to show the
+// contrast.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/policy_factory.h"
+#include "src/sim/simulator.h"
+#include "src/trace/generators.h"
+
+namespace {
+
+void RunOne(const char* label, const qdlp::Trace& trace) {
+  using namespace qdlp;
+  const TraceStats stats = ComputeTraceStats(trace);
+  std::printf("\n%s: %llu requests, %llu keys, mean reuse %.1f, one-hit %.0f%%\n",
+              label, static_cast<unsigned long long>(stats.num_requests),
+              static_cast<unsigned long long>(stats.num_objects),
+              stats.mean_frequency, stats.one_hit_wonder_ratio * 100.0);
+  const size_t cache_size = CacheSizeForFraction(trace, 0.10);
+  double one_bit_mr = 0.0;
+  for (const std::string name : {"lru", "fifo-reinsertion", "clock2", "clock3",
+                                 "qd-lp-fifo"}) {
+    const SimResult result = SimulatePolicy(name, trace, cache_size);
+    std::printf("  %-18s miss ratio %.4f", name.c_str(), result.miss_ratio());
+    if (name == "fifo-reinsertion") {
+      one_bit_mr = result.miss_ratio();
+    } else if (name == "clock2" && one_bit_mr > 0.0) {
+      std::printf("   (second bit buys %.2f%%)",
+                  (one_bit_mr - result.miss_ratio()) / one_bit_mr * 100.0);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace qdlp;
+
+  HighReuseKvConfig kv_config;
+  kv_config.num_requests = 400000;
+  kv_config.num_objects = 30000;
+  kv_config.skew = 1.2;
+  kv_config.seed = 88;
+  RunOne("social-network KV (high reuse)", GenerateHighReuseKv(kv_config));
+
+  PopularityDecayConfig cdn_config;
+  cdn_config.num_requests = 400000;
+  cdn_config.one_hit_wonder_fraction = 0.25;
+  cdn_config.initial_objects = 8000;
+  cdn_config.seed = 88;
+  RunOne("CDN (low reuse, heavy one-hit wonders)",
+         GeneratePopularityDecay(cdn_config));
+
+  std::printf(
+      "\nOn the high-reuse KV side nearly every object has its bit set, so\n"
+      "the 1-bit CLOCK degenerates toward FIFO and the second bit matters\n"
+      "(§3: \"using one bit to track object access is insufficient\"). On\n"
+      "the wonder-heavy CDN side the first bit already separates live from\n"
+      "dead, and quick demotion (qd-lp-fifo) is what pays.\n");
+  return 0;
+}

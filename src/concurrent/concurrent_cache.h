@@ -1,0 +1,39 @@
+// Thread-safe cache interface for the throughput/scalability experiments.
+//
+// The paper's motivation (§1, §2): each LRU hit updates six pointers under a
+// lock, while FIFO/CLOCK hits touch at most one small counter and need no
+// exclusive lock, so FIFO-family caches are faster and scale with cores.
+// These implementations make that concrete:
+//
+//  * GlobalLockLruCache  — one mutex around an LRU (the naive memcached-style
+//                          design the paper argues against)
+//  * ShardedLruCache     — N LRU shards, each with its own mutex (the common
+//                          mitigation)
+//  * ConcurrentClockCache— sharded index protected by shared_mutex (hits take
+//                          the shared side) + atomic reference counters;
+//                          hits perform no exclusive locking at all
+//
+// Get() is get-or-admit: returns true on hit, and on miss admits the id
+// (evicting if needed), mirroring EvictionPolicy::Access.
+
+#ifndef QDLP_SRC_CONCURRENT_CONCURRENT_CACHE_H_
+#define QDLP_SRC_CONCURRENT_CONCURRENT_CACHE_H_
+
+#include <cstddef>
+
+#include "src/trace/trace.h"
+
+namespace qdlp {
+
+class ConcurrentCache {
+ public:
+  virtual ~ConcurrentCache() = default;
+  // Returns true on hit; admits on miss. Thread-safe.
+  virtual bool Get(ObjectId id) = 0;
+  virtual size_t capacity() const = 0;
+  virtual const char* name() const = 0;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_CONCURRENT_CONCURRENT_CACHE_H_

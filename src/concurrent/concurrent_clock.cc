@@ -1,0 +1,94 @@
+#include "src/concurrent/concurrent_clock.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+
+ConcurrentClockCache::ConcurrentClockCache(size_t capacity, int bits,
+                                           size_t num_shards)
+    : capacity_(capacity),
+      max_counter_(static_cast<uint8_t>((1u << bits) - 1)),
+      slots_(capacity) {
+  QDLP_CHECK(bits >= 1 && bits <= 8);
+  QDLP_CHECK(num_shards >= 1);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ConcurrentClockCache::Shard& ConcurrentClockCache::ShardFor(ObjectId id) {
+  return *shards_[SplitMix64(id) % shards_.size()];
+}
+
+bool ConcurrentClockCache::Get(ObjectId id) {
+  Shard& shard = ShardFor(id);
+  {
+    // Hit path: shared (read) lock + one relaxed atomic store. No pointer
+    // updates, no exclusive locking — the Lazy Promotion property.
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const auto it = shard.index.find(id);
+    if (it != shard.index.end()) {
+      Slot& slot = slots_[it->second];
+      const uint8_t current = slot.counter.load(std::memory_order_relaxed);
+      if (current < max_counter_) {
+        slot.counter.store(current + 1, std::memory_order_relaxed);
+      }
+      return true;
+    }
+  }
+
+  // Miss path: serialized by the eviction mutex.
+  std::lock_guard<std::mutex> eviction_lock(eviction_mu_);
+  {
+    // Another thread may have admitted `id` while we waited.
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    if (shard.index.contains(id)) {
+      return true;
+    }
+  }
+  size_t slot_index;
+  if (used_.load(std::memory_order_relaxed) < capacity_) {
+    slot_index = used_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    slot_index = EvictOne();
+  }
+  Slot& slot = slots_[slot_index];
+  slot.id.store(id, std::memory_order_relaxed);
+  slot.counter.store(0, std::memory_order_relaxed);
+  slot.occupied.store(true, std::memory_order_release);
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.index[id] = slot_index;
+  }
+  return false;
+}
+
+size_t ConcurrentClockCache::EvictOne() {
+  while (true) {
+    Slot& slot = slots_[hand_];
+    const size_t current = hand_;
+    hand_ = (hand_ + 1) % capacity_;
+    if (!slot.occupied.load(std::memory_order_acquire)) {
+      return current;
+    }
+    const uint8_t counter = slot.counter.load(std::memory_order_relaxed);
+    if (counter > 0) {
+      slot.counter.store(counter - 1, std::memory_order_relaxed);
+      continue;
+    }
+    const ObjectId victim = slot.id.load(std::memory_order_relaxed);
+    Shard& shard = ShardFor(victim);
+    {
+      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      shard.index.erase(victim);
+    }
+    slot.occupied.store(false, std::memory_order_release);
+    return current;
+  }
+}
+
+}  // namespace qdlp

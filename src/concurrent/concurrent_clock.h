@@ -1,0 +1,60 @@
+// CLOCK with a lock-free hit path.
+//
+// The index is sharded and protected by std::shared_mutex: hits take the
+// *shared* side (many readers in parallel) and then perform a single relaxed
+// atomic store to the object's reference counter — this is the "at most one
+// metadata update, no locking" property of Lazy Promotion (§3, §4). Misses
+// take an eviction mutex plus the affected shards' exclusive locks; with a
+// cache-shaped workload (hit ratio near 1) the hot path is contention-free.
+
+#ifndef QDLP_SRC_CONCURRENT_CONCURRENT_CLOCK_H_
+#define QDLP_SRC_CONCURRENT_CONCURRENT_CLOCK_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/concurrent/concurrent_cache.h"
+
+namespace qdlp {
+
+class ConcurrentClockCache : public ConcurrentCache {
+ public:
+  ConcurrentClockCache(size_t capacity, int bits = 1, size_t num_shards = 16);
+
+  bool Get(ObjectId id) override;
+  size_t capacity() const override { return capacity_; }
+  const char* name() const override { return "concurrent-clock"; }
+
+ private:
+  struct Slot {
+    std::atomic<ObjectId> id{0};
+    std::atomic<uint8_t> counter{0};
+    std::atomic<bool> occupied{false};
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<ObjectId, size_t> index;  // id -> slot
+  };
+
+  Shard& ShardFor(ObjectId id);
+  // Finds the victim slot (holds eviction_mu_); erases the victim from its
+  // shard. Returns the freed slot.
+  size_t EvictOne();
+
+  const size_t capacity_;
+  const uint8_t max_counter_;
+  std::vector<Slot> slots_;
+  std::atomic<size_t> used_{0};
+  size_t hand_ = 0;  // guarded by eviction_mu_
+  std::mutex eviction_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_CONCURRENT_CONCURRENT_CLOCK_H_

@@ -1,0 +1,159 @@
+#include "src/concurrent/concurrent_s3fifo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+
+ConcurrentS3FifoCache::ConcurrentS3FifoCache(size_t capacity,
+                                             double small_fraction,
+                                             double ghost_factor,
+                                             size_t num_shards)
+    : capacity_(capacity) {
+  QDLP_CHECK(capacity >= 1);
+  QDLP_CHECK(small_fraction > 0.0 && small_fraction < 1.0);
+  QDLP_CHECK(num_shards >= 1);
+  small_capacity_ = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(static_cast<double>(capacity) *
+                                          small_fraction)));
+  small_capacity_ = std::min(small_capacity_, capacity);
+  ghost_capacity_ = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(static_cast<double>(capacity) *
+                                          ghost_factor)));
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ConcurrentS3FifoCache::Shard& ConcurrentS3FifoCache::ShardFor(ObjectId id) {
+  return *shards_[SplitMix64(id) % shards_.size()];
+}
+
+void ConcurrentS3FifoCache::IndexInsert(ObjectId id, Node* node) {
+  Shard& shard = ShardFor(id);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  shard.index[id] = node;
+}
+
+void ConcurrentS3FifoCache::IndexErase(ObjectId id) {
+  Shard& shard = ShardFor(id);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  shard.index.erase(id);
+}
+
+void ConcurrentS3FifoCache::GhostInsert(ObjectId id) {
+  const uint64_t generation = ghost_generation_++;
+  ghost_fifo_.emplace_back(id, generation);
+  ghost_live_[id] = generation;
+  while (ghost_live_.size() > ghost_capacity_ && !ghost_fifo_.empty()) {
+    const auto [oldest_id, oldest_generation] = ghost_fifo_.front();
+    ghost_fifo_.pop_front();
+    const auto it = ghost_live_.find(oldest_id);
+    if (it != ghost_live_.end() && it->second == oldest_generation) {
+      ghost_live_.erase(it);
+    }
+  }
+}
+
+bool ConcurrentS3FifoCache::GhostConsume(ObjectId id) {
+  return ghost_live_.erase(id) > 0;
+}
+
+void ConcurrentS3FifoCache::EvictSmall() {
+  QDLP_DCHECK(!small_fifo_.empty());
+  Node* node = small_fifo_.front();
+  small_fifo_.pop_front();
+  --small_count_;
+  if (node->freq.load(std::memory_order_relaxed) >= 1) {
+    node->where = Where::kMain;
+    node->freq.store(0, std::memory_order_relaxed);
+    main_fifo_.push_back(node);
+    ++main_count_;
+    return;
+  }
+  const ObjectId victim = node->id;
+  IndexErase(victim);
+  GhostInsert(victim);
+  owner_.erase(victim);
+  resident_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void ConcurrentS3FifoCache::EvictMain() {
+  while (true) {
+    QDLP_DCHECK(!main_fifo_.empty());
+    Node* node = main_fifo_.front();
+    main_fifo_.pop_front();
+    const uint8_t freq = node->freq.load(std::memory_order_relaxed);
+    if (freq > 0) {
+      node->freq.store(freq - 1, std::memory_order_relaxed);
+      main_fifo_.push_back(node);
+      continue;
+    }
+    const ObjectId victim = node->id;
+    --main_count_;
+    IndexErase(victim);
+    owner_.erase(victim);
+    resident_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+}
+
+void ConcurrentS3FifoCache::MakeRoom() {
+  while (owner_.size() >= capacity_) {
+    if (small_count_ > 0 &&
+        (small_count_ >= small_capacity_ || main_count_ == 0)) {
+      EvictSmall();
+    } else {
+      EvictMain();
+    }
+  }
+}
+
+bool ConcurrentS3FifoCache::Get(ObjectId id) {
+  Shard& shard = ShardFor(id);
+  {
+    // Hit path: shared lock + one relaxed saturating increment.
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const auto it = shard.index.find(id);
+    if (it != shard.index.end()) {
+      Node* node = it->second;
+      const uint8_t freq = node->freq.load(std::memory_order_relaxed);
+      if (freq < kMaxFreq) {
+        node->freq.store(freq + 1, std::memory_order_relaxed);
+      }
+      return true;
+    }
+  }
+
+  std::lock_guard<std::mutex> eviction_lock(eviction_mu_);
+  {
+    // Re-check: another thread may have admitted it meanwhile.
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    if (shard.index.contains(id)) {
+      return true;
+    }
+  }
+  MakeRoom();
+  auto node = std::make_unique<Node>();
+  node->id = id;
+  Node* raw = node.get();
+  if (GhostConsume(id)) {
+    raw->where = Where::kMain;
+    main_fifo_.push_back(raw);
+    ++main_count_;
+  } else {
+    raw->where = Where::kSmall;
+    small_fifo_.push_back(raw);
+    ++small_count_;
+  }
+  owner_[id] = std::move(node);
+  resident_.fetch_add(1, std::memory_order_relaxed);
+  IndexInsert(id, raw);
+  return false;
+}
+
+}  // namespace qdlp

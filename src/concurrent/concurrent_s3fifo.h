@@ -1,0 +1,91 @@
+// Thread-safe S3-FIFO with a lock-free hit path.
+//
+// S3-FIFO was designed for exactly this: hits touch only a per-object
+// atomic frequency counter (no queue reordering ever), so the hot path
+// needs just a shared-mode index lock plus one relaxed atomic RMW. All
+// queue surgery (admission, small->main promotion, ghost bookkeeping)
+// happens on the miss path under one eviction mutex.
+//
+// Single-threaded, this class is semantically identical to S3FifoPolicy
+// (same queues, same ghost, same frequency rules) — the unit tests replay
+// traces through both and require identical hit/miss sequences.
+
+#ifndef QDLP_SRC_CONCURRENT_CONCURRENT_S3FIFO_H_
+#define QDLP_SRC_CONCURRENT_CONCURRENT_S3FIFO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/concurrent/concurrent_cache.h"
+
+namespace qdlp {
+
+class ConcurrentS3FifoCache : public ConcurrentCache {
+ public:
+  ConcurrentS3FifoCache(size_t capacity, double small_fraction = 0.10,
+                        double ghost_factor = 0.9, size_t num_shards = 16);
+
+  bool Get(ObjectId id) override;
+  size_t capacity() const override { return capacity_; }
+  const char* name() const override { return "concurrent-s3fifo"; }
+
+  // Resident object count (approximate under concurrency).
+  size_t size() const { return resident_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr uint8_t kMaxFreq = 3;
+
+  enum class Where : uint8_t { kSmall, kMain };
+  struct Node {
+    ObjectId id = 0;
+    std::atomic<uint8_t> freq{0};
+    Where where = Where::kSmall;  // guarded by eviction_mu_
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<ObjectId, Node*> index;
+  };
+
+  Shard& ShardFor(ObjectId id);
+  // All of the below run under eviction_mu_.
+  void EvictSmall();
+  void EvictMain();
+  void MakeRoom();
+  void GhostInsert(ObjectId id);
+  bool GhostConsume(ObjectId id);
+  void IndexInsert(ObjectId id, Node* node);
+  void IndexErase(ObjectId id);
+
+  const size_t capacity_;
+  size_t small_capacity_;
+  size_t ghost_capacity_;
+
+  std::mutex eviction_mu_;
+  // Owned nodes; queue structures hold raw pointers. Guarded by
+  // eviction_mu_; the hit path only dereferences nodes it found via a
+  // shard index under that shard's shared lock.
+  std::unordered_map<ObjectId, std::unique_ptr<Node>> owner_;
+  std::deque<Node*> small_fifo_;
+  std::deque<Node*> main_fifo_;
+  size_t small_count_ = 0;
+  size_t main_count_ = 0;
+  std::atomic<size_t> resident_{0};
+
+  // Ghost FIFO (metadata only), guarded by eviction_mu_.
+  std::deque<std::pair<ObjectId, uint64_t>> ghost_fifo_;
+  std::unordered_map<ObjectId, uint64_t> ghost_live_;
+  uint64_t ghost_generation_ = 0;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_CONCURRENT_CONCURRENT_S3FIFO_H_

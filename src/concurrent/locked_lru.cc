@@ -1,0 +1,27 @@
+#include "src/concurrent/locked_lru.h"
+
+namespace qdlp {
+
+GlobalLockLruCache::GlobalLockLruCache(size_t capacity) : capacity_(capacity) {
+  index_.reserve(capacity);
+}
+
+bool GlobalLockLruCache::Get(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    // Eager promotion: the six-pointer splice the paper counts against LRU.
+    mru_list_.splice(mru_list_.begin(), mru_list_, it->second);
+    return true;
+  }
+  if (index_.size() == capacity_) {
+    const ObjectId victim = mru_list_.back();
+    mru_list_.pop_back();
+    index_.erase(victim);
+  }
+  mru_list_.push_front(id);
+  index_[id] = mru_list_.begin();
+  return false;
+}
+
+}  // namespace qdlp

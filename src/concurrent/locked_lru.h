@@ -1,0 +1,32 @@
+// LRU behind a single global mutex: the baseline whose hit-path lock
+// contention the paper's FIFO argument targets.
+
+#ifndef QDLP_SRC_CONCURRENT_LOCKED_LRU_H_
+#define QDLP_SRC_CONCURRENT_LOCKED_LRU_H_
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/concurrent/concurrent_cache.h"
+
+namespace qdlp {
+
+class GlobalLockLruCache : public ConcurrentCache {
+ public:
+  explicit GlobalLockLruCache(size_t capacity);
+
+  bool Get(ObjectId id) override;
+  size_t capacity() const override { return capacity_; }
+  const char* name() const override { return "global-lock-lru"; }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::list<ObjectId> mru_list_;
+  std::unordered_map<ObjectId, std::list<ObjectId>::iterator> index_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_CONCURRENT_LOCKED_LRU_H_

@@ -1,0 +1,50 @@
+#include "src/concurrent/sharded_lru.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+
+ShardedLruCache::ShardedLruCache(size_t capacity, size_t num_shards)
+    : capacity_(capacity) {
+  QDLP_CHECK(num_shards >= 1);
+  num_shards = std::min(num_shards, capacity);
+  shards_.reserve(num_shards);
+  const size_t base = capacity / num_shards;
+  size_t remainder = capacity % num_shards;
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) {
+      --remainder;
+    }
+    shard->index.reserve(shard->capacity);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedLruCache::Shard& ShardedLruCache::ShardFor(ObjectId id) {
+  return *shards_[SplitMix64(id) % shards_.size()];
+}
+
+bool ShardedLruCache::Get(ObjectId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(id);
+  if (it != shard.index.end()) {
+    shard.mru_list.splice(shard.mru_list.begin(), shard.mru_list, it->second);
+    return true;
+  }
+  if (shard.index.size() >= shard.capacity) {
+    const ObjectId victim = shard.mru_list.back();
+    shard.mru_list.pop_back();
+    shard.index.erase(victim);
+  }
+  shard.mru_list.push_front(id);
+  shard.index[id] = shard.mru_list.begin();
+  return false;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,42 @@
+// LRU sharded across N independently-locked segments — the standard
+// mitigation for LRU lock contention. Hits still take an exclusive lock, but
+// only 1/N threads collide per shard.
+
+#ifndef QDLP_SRC_CONCURRENT_SHARDED_LRU_H_
+#define QDLP_SRC_CONCURRENT_SHARDED_LRU_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/concurrent/concurrent_cache.h"
+
+namespace qdlp {
+
+class ShardedLruCache : public ConcurrentCache {
+ public:
+  ShardedLruCache(size_t capacity, size_t num_shards = 16);
+
+  bool Get(ObjectId id) override;
+  size_t capacity() const override { return capacity_; }
+  const char* name() const override { return "sharded-lru"; }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    size_t capacity = 0;
+    std::list<ObjectId> mru_list;
+    std::unordered_map<ObjectId, std::list<ObjectId>::iterator> index;
+  };
+
+  Shard& ShardFor(ObjectId id);
+
+  const size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_CONCURRENT_SHARDED_LRU_H_

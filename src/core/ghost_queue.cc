@@ -1,0 +1,31 @@
+#include "src/core/ghost_queue.h"
+
+namespace qdlp {
+
+void GhostQueue::Insert(ObjectId id) {
+  const uint64_t generation = next_generation_++;
+  fifo_.emplace_back(id, generation);
+  live_[id] = generation;
+  while (live_.size() > capacity_ && !fifo_.empty()) {
+    const auto [oldest_id, oldest_generation] = fifo_.front();
+    fifo_.pop_front();
+    const auto it = live_.find(oldest_id);
+    if (it != live_.end() && it->second == oldest_generation) {
+      live_.erase(it);
+    }
+  }
+  // Opportunistically drop leading stale records so fifo_ cannot grow
+  // unboundedly ahead of live_.
+  while (!fifo_.empty()) {
+    const auto [front_id, front_generation] = fifo_.front();
+    const auto it = live_.find(front_id);
+    if (it != live_.end() && it->second == front_generation) {
+      break;
+    }
+    fifo_.pop_front();
+  }
+}
+
+bool GhostQueue::Consume(ObjectId id) { return live_.erase(id) > 0; }
+
+}  // namespace qdlp

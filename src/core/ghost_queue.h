@@ -1,0 +1,52 @@
+// Metadata-only ghost FIFO queue (§4, Fig 4).
+//
+// Remembers the ids of objects recently evicted from the probationary FIFO.
+// A miss that hits the ghost is evidence the object was demoted too quickly,
+// so the QD wrapper admits it straight into the main cache. Entries cost a
+// few bytes each (no data), matching the paper's "ghost FIFO stores as many
+// entries as the main cache".
+
+#ifndef QDLP_SRC_CORE_GHOST_QUEUE_H_
+#define QDLP_SRC_CORE_GHOST_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+#include "src/trace/trace.h"
+#include "src/util/check.h"
+
+namespace qdlp {
+
+class GhostQueue {
+ public:
+  explicit GhostQueue(size_t capacity) : capacity_(capacity) {
+    QDLP_CHECK(capacity >= 1);
+  }
+
+  // Records an eviction. Re-recording an id refreshes its position.
+  void Insert(ObjectId id);
+
+  // Tests membership and, when present, removes the entry (each ghost hit is
+  // consumed, per Fig 4's "unless it is in the ghost FIFO queue").
+  bool Consume(ObjectId id);
+
+  bool Contains(ObjectId id) const { return live_.contains(id); }
+  size_t size() const { return live_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  // FIFO of (id, generation). Entries whose generation no longer matches
+  // `live_` are stale (consumed or refreshed) and skipped while trimming;
+  // `live_` is the source of truth for membership.
+  std::deque<std::pair<ObjectId, uint64_t>> fifo_;
+  std::unordered_map<ObjectId, uint64_t> live_;
+  uint64_t next_generation_ = 0;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_CORE_GHOST_QUEUE_H_

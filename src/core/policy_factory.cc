@@ -1,0 +1,175 @@
+#include "src/core/policy_factory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/s3fifo.h"
+#include "src/core/sieve.h"
+#include "src/policies/arc.h"
+#include "src/policies/belady.h"
+#include "src/policies/cacheus.h"
+#include "src/policies/car.h"
+#include "src/policies/clock.h"
+#include "src/policies/clockpro.h"
+#include "src/policies/fifo.h"
+#include "src/policies/hyperbolic.h"
+#include "src/policies/lazy_lru.h"
+#include "src/policies/lecar.h"
+#include "src/policies/lfu.h"
+#include "src/policies/lhd.h"
+#include "src/policies/lirs.h"
+#include "src/policies/lru.h"
+#include "src/policies/lruk.h"
+#include "src/policies/mq.h"
+#include "src/policies/random_policy.h"
+#include "src/policies/slru.h"
+#include "src/policies/twoq.h"
+#include "src/policies/wtinylfu.h"
+#include "src/util/check.h"
+
+namespace qdlp {
+
+namespace {
+
+std::unique_ptr<EvictionPolicy> MakeBase(const std::string& name,
+                                         size_t capacity,
+                                         const std::vector<ObjectId>* trace) {
+  if (name == "fifo") {
+    return std::make_unique<FifoPolicy>(capacity);
+  }
+  if (name == "lru") {
+    return std::make_unique<LruPolicy>(capacity);
+  }
+  if (name == "lfu") {
+    return std::make_unique<LfuPolicy>(capacity);
+  }
+  if (name == "random") {
+    return std::make_unique<RandomPolicy>(capacity);
+  }
+  if (name == "slru") {
+    return std::make_unique<SlruPolicy>(capacity);
+  }
+  if (name == "2q") {
+    return std::make_unique<TwoQPolicy>(capacity);
+  }
+  if (name == "arc") {
+    return std::make_unique<ArcPolicy>(capacity);
+  }
+  if (name == "arc-slow") {
+    return std::make_unique<ArcPolicy>(capacity, /*adaptation_rate=*/0.25);
+  }
+  if (name == "arc-fixed") {
+    return std::make_unique<ArcPolicy>(capacity, 1.0, /*fixed_p_fraction=*/0.1);
+  }
+  if (name == "car") {
+    return std::make_unique<CarPolicy>(capacity);
+  }
+  if (name == "mq") {
+    return std::make_unique<MqPolicy>(capacity);
+  }
+  if (name == "lru2") {
+    return std::make_unique<LruKPolicy>(capacity, 2);
+  }
+  if (name == "wtinylfu") {
+    return std::make_unique<WTinyLfuPolicy>(capacity);
+  }
+  if (name == "lru-batched") {
+    return std::make_unique<BatchedPromotionLru>(capacity);
+  }
+  if (name == "lru-promote-old") {
+    return std::make_unique<PromoteOldOnlyLru>(capacity);
+  }
+  if (name == "lirs") {
+    return std::make_unique<LirsPolicy>(capacity);
+  }
+  if (name == "lecar") {
+    return std::make_unique<LecarPolicy>(capacity);
+  }
+  if (name == "cacheus") {
+    return std::make_unique<CacheusPolicy>(capacity);
+  }
+  if (name == "lhd") {
+    return std::make_unique<LhdPolicy>(capacity);
+  }
+  if (name == "hyperbolic") {
+    return std::make_unique<HyperbolicPolicy>(capacity);
+  }
+  if (name == "fifo-reinsertion" || name == "clock" || name == "clock1") {
+    return std::make_unique<ClockPolicy>(capacity, 1);
+  }
+  if (name == "clock2") {
+    return std::make_unique<ClockPolicy>(capacity, 2);
+  }
+  if (name == "clock3") {
+    return std::make_unique<ClockPolicy>(capacity, 3);
+  }
+  if (name == "clockpro") {
+    return std::make_unique<ClockProPolicy>(capacity);
+  }
+  if (name == "sieve") {
+    return std::make_unique<SievePolicy>(capacity);
+  }
+  if (name == "s3fifo") {
+    return std::make_unique<S3FifoPolicy>(capacity);
+  }
+  if (name == "belady") {
+    if (trace == nullptr) {
+      return nullptr;
+    }
+    return std::make_unique<BeladyPolicy>(capacity, *trace);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<EvictionPolicy> MakeQdPolicy(const std::string& base_name,
+                                             size_t total_capacity,
+                                             const QdOptions& options,
+                                             const std::vector<ObjectId>* trace) {
+  QDLP_CHECK(total_capacity >= 2);
+  QDLP_CHECK(options.probation_fraction > 0.0 && options.probation_fraction < 1.0);
+  if (base_name == "belady") {
+    // Belady consumes the trace positionally; behind a QD filter its
+    // next-use bookkeeping would desynchronize from the request stream.
+    return nullptr;
+  }
+  size_t probation = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(static_cast<double>(total_capacity) *
+                                          options.probation_fraction)));
+  probation = std::min(probation, total_capacity - 1);
+  const size_t main_capacity = total_capacity - probation;
+  auto main = MakeBase(base_name, main_capacity, trace);
+  if (main == nullptr) {
+    return nullptr;
+  }
+  return std::make_unique<QdCache>(probation, std::move(main), options);
+}
+
+std::unique_ptr<EvictionPolicy> MakePolicy(const std::string& name,
+                                           size_t capacity,
+                                           const std::vector<ObjectId>* trace) {
+  if (name == "qd-lp-fifo") {
+    QdOptions options;
+    options.name = "qd-lp-fifo";
+    return MakeQdPolicy("clock2", capacity, options, trace);
+  }
+  if (name.rfind("qd-", 0) == 0) {
+    return MakeQdPolicy(name.substr(3), capacity, QdOptions{}, trace);
+  }
+  return MakeBase(name, capacity, trace);
+}
+
+std::vector<std::string> KnownPolicyNames() {
+  return {
+      "fifo",        "lru",        "lfu",        "random",     "slru",
+      "2q",          "arc",        "arc-slow",   "arc-fixed",  "car",
+      "mq",          "lru2",       "wtinylfu",   "lru-batched",
+      "lru-promote-old",           "lirs",       "lecar",      "cacheus",
+      "lhd",         "hyperbolic", "belady",     "fifo-reinsertion",
+      "clock2",      "clock3",     "clockpro",   "sieve",      "s3fifo",     "qd-lp-fifo",
+      "qd-arc",      "qd-lirs",    "qd-lecar",   "qd-cacheus", "qd-lhd",
+  };
+}
+
+}  // namespace qdlp

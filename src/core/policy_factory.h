@@ -1,0 +1,45 @@
+// Policy factory: build any eviction policy — including QD-composed ones —
+// from a name and a total capacity budget. This is the public entry point
+// the simulator, benches, and examples use.
+//
+// Recognized names:
+//   fifo, lru, lfu, random, slru, 2q, arc, lirs, lecar, cacheus, lhd,
+//   hyperbolic, belady (requires a trace), fifo-reinsertion (= clock1),
+//   clock2, clock3, sieve, s3fifo,
+//   qd-lp-fifo (probationary FIFO + ghost + 2-bit CLOCK main, the paper's
+//   §4 algorithm), and qd-<base> for any non-composed base above
+//   (e.g. qd-arc, qd-lirs, qd-lecar, qd-cacheus, qd-lhd).
+//
+// For QD-composed policies the capacity is the *total* budget: 10% goes to
+// the probationary FIFO and 90% to the main policy, as in the paper.
+
+#ifndef QDLP_SRC_CORE_POLICY_FACTORY_H_
+#define QDLP_SRC_CORE_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/qd_cache.h"
+#include "src/policies/eviction_policy.h"
+
+namespace qdlp {
+
+// Returns nullptr for unknown names or when "belady" is requested without a
+// trace. Capacity must be >= 1 (>= 2 for QD compositions, checked).
+std::unique_ptr<EvictionPolicy> MakePolicy(
+    const std::string& name, size_t capacity,
+    const std::vector<ObjectId>* trace = nullptr);
+
+// Builds a QD wrapper with the given options around a named base policy.
+std::unique_ptr<EvictionPolicy> MakeQdPolicy(
+    const std::string& base_name, size_t total_capacity,
+    const QdOptions& options = {},
+    const std::vector<ObjectId>* trace = nullptr);
+
+// All names MakePolicy accepts (Belady included), for docs/tests/sweeps.
+std::vector<std::string> KnownPolicyNames();
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_CORE_POLICY_FACTORY_H_

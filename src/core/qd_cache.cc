@@ -1,0 +1,93 @@
+#include "src/core/qd_cache.h"
+
+#include <cmath>
+
+namespace qdlp {
+
+namespace {
+
+// Forwards main-cache evictions to the wrapper's listener so that residency
+// accounting spans the whole composed cache. Inserts are ignored: the
+// wrapper reports an object's insertion when it first takes cache space
+// (probation entry or ghost-path admission), and a promotion from probation
+// into main is not a new insertion.
+class MainEvictionForwarder : public EvictionListener {
+ public:
+  using Callback = std::function<void(ObjectId)>;
+  explicit MainEvictionForwarder(Callback on_evict)
+      : on_evict_(std::move(on_evict)) {}
+
+  void OnInsert(ObjectId, uint64_t) override {}
+  void OnEvict(ObjectId id, uint64_t) override { on_evict_(id); }
+
+ private:
+  Callback on_evict_;
+};
+
+}  // namespace
+
+QdCache::QdCache(size_t probation_capacity,
+                 std::unique_ptr<EvictionPolicy> main, const QdOptions& options)
+    : EvictionPolicy(probation_capacity + main->capacity(),
+                     options.name.empty() ? "qd-" + main->name() : options.name),
+      probation_capacity_(probation_capacity),
+      main_(std::move(main)),
+      ghost_(std::max<size_t>(
+          1, static_cast<size_t>(std::llround(
+                 static_cast<double>(main_->capacity()) * options.ghost_factor)))) {
+  QDLP_CHECK(probation_capacity_ >= 1);
+  probation_index_.reserve(probation_capacity_);
+  main_forwarder_ = std::make_unique<MainEvictionForwarder>(
+      [this](ObjectId id) { NotifyEvict(id); });
+  main_->set_eviction_listener(main_forwarder_.get());
+}
+
+void QdCache::EvictFromProbation() {
+  QDLP_DCHECK(!probation_fifo_.empty());
+  const ObjectId victim = probation_fifo_.front();
+  probation_fifo_.pop_front();
+  const auto it = probation_index_.find(victim);
+  QDLP_DCHECK(it != probation_index_.end());
+  const bool accessed = it->second;
+  probation_index_.erase(it);
+  if (accessed) {
+    // Lazy promotion: re-accessed while on probation -> main cache.
+    ++promotions_;
+    main_->Access(victim);
+  } else {
+    // Quick demotion: one lap through the small FIFO was its only chance.
+    ++quick_demotions_;
+    ghost_.Insert(victim);
+    NotifyEvict(victim);
+  }
+}
+
+void QdCache::AdmitToProbation(ObjectId id) {
+  while (probation_index_.size() >= probation_capacity_) {
+    EvictFromProbation();
+  }
+  probation_fifo_.push_back(id);
+  probation_index_[id] = false;
+  NotifyInsert(id);
+}
+
+bool QdCache::OnAccess(ObjectId id) {
+  const auto probation_it = probation_index_.find(id);
+  if (probation_it != probation_index_.end()) {
+    probation_it->second = true;  // single metadata bit; no reordering
+    return true;
+  }
+  if (main_->Contains(id)) {
+    return main_->Access(id);
+  }
+  if (ghost_.Consume(id)) {
+    ++ghost_admissions_;
+    main_->Access(id);
+    NotifyInsert(id);
+    return false;
+  }
+  AdmitToProbation(id);
+  return false;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,89 @@
+// Quick Demotion wrapper — the paper's main construction (§4, Fig 4).
+//
+// Splits the cache budget into a small probationary FIFO (default 10%) and a
+// main cache (90%) running any eviction policy, plus a metadata-only ghost
+// FIFO holding as many entries as the main cache. The flow:
+//
+//   miss, id in ghost      -> admit into the MAIN cache (it was demoted too
+//                             fast once; don't make it re-prove itself)
+//   miss, id not in ghost  -> admit into the probationary FIFO
+//   probationary FIFO full -> if the evictee was re-accessed since insertion,
+//                             promote it into the main cache (lazy
+//                             promotion); otherwise evict it and record the
+//                             id in the ghost FIFO
+//
+// Hits anywhere only set a bit (probation) or forward to the main policy.
+// Composing this over ARC/LIRS/CACHEUS/LeCaR/LHD yields the paper's
+// QD-enhanced algorithms; composing it over 2-bit CLOCK yields QD-LP-FIFO.
+
+#ifndef QDLP_SRC_CORE_QD_CACHE_H_
+#define QDLP_SRC_CORE_QD_CACHE_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/core/ghost_queue.h"
+#include "src/policies/eviction_policy.h"
+
+namespace qdlp {
+
+struct QdOptions {
+  // Fraction of total capacity given to the probationary FIFO.
+  double probation_fraction = 0.10;
+  // Ghost capacity as a multiple of the main cache's object capacity.
+  double ghost_factor = 1.0;
+  // Reported policy name; defaults to "qd-<main policy name>".
+  std::string name;
+};
+
+class QdCache : public EvictionPolicy {
+ public:
+  // `main` must have capacity equal to the intended main-cache size; the
+  // total capacity reported by this wrapper is probation + main. Use
+  // MakeQdCache (policy_factory.h) to build one by name with a total budget.
+  QdCache(size_t probation_capacity, std::unique_ptr<EvictionPolicy> main,
+          const QdOptions& options = {});
+
+  size_t size() const override { return probation_index_.size() + main_->size(); }
+  bool Contains(ObjectId id) const override {
+    return probation_index_.contains(id) || main_->Contains(id);
+  }
+
+  size_t probation_size() const { return probation_index_.size(); }
+  size_t probation_capacity() const { return probation_capacity_; }
+  const EvictionPolicy& main() const { return *main_; }
+  const GhostQueue& ghost() const { return ghost_; }
+
+  // Counters for analysis/ablation.
+  uint64_t promotions() const { return promotions_; }
+  uint64_t quick_demotions() const { return quick_demotions_; }
+  uint64_t ghost_admissions() const { return ghost_admissions_; }
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  // Pushes `id` into the probationary FIFO, making room first.
+  void AdmitToProbation(ObjectId id);
+  // Evicts the oldest probationary object, promoting or ghosting it.
+  void EvictFromProbation();
+
+  size_t probation_capacity_;
+  std::unique_ptr<EvictionPolicy> main_;
+  GhostQueue ghost_;
+  // Forwards main-cache evictions into this wrapper's listener.
+  std::unique_ptr<EvictionListener> main_forwarder_;
+
+  std::deque<ObjectId> probation_fifo_;  // front = oldest
+  std::unordered_map<ObjectId, bool> probation_index_;  // id -> accessed bit
+
+  uint64_t promotions_ = 0;
+  uint64_t quick_demotions_ = 0;
+  uint64_t ghost_admissions_ = 0;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_CORE_QD_CACHE_H_

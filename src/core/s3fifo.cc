@@ -1,0 +1,102 @@
+#include "src/core/s3fifo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdlp {
+
+S3FifoPolicy::S3FifoPolicy(size_t capacity, double small_fraction,
+                           double ghost_factor)
+    : EvictionPolicy(capacity, "s3fifo"),
+      small_capacity_(std::max<size_t>(
+          1, static_cast<size_t>(std::llround(static_cast<double>(capacity) *
+                                              small_fraction)))),
+      ghost_(std::max<size_t>(
+          1, static_cast<size_t>(std::llround(static_cast<double>(capacity) *
+                                              ghost_factor)))) {
+  QDLP_CHECK(small_fraction > 0.0 && small_fraction < 1.0);
+  small_capacity_ = std::min(small_capacity_, capacity);
+  index_.reserve(capacity);
+}
+
+void S3FifoPolicy::InsertSmall(ObjectId id) {
+  small_fifo_.push_back(id);
+  index_[id] = Entry{Where::kSmall, 0};
+  ++small_count_;
+  NotifyInsert(id);
+}
+
+void S3FifoPolicy::InsertMain(ObjectId id) {
+  main_fifo_.push_back(id);
+  index_[id] = Entry{Where::kMain, 0};
+  ++main_count_;
+  NotifyInsert(id);
+}
+
+void S3FifoPolicy::EvictSmall() {
+  QDLP_DCHECK(!small_fifo_.empty());
+  const ObjectId victim = small_fifo_.front();
+  small_fifo_.pop_front();
+  --small_count_;
+  auto it = index_.find(victim);
+  QDLP_DCHECK(it != index_.end() && it->second.where == Where::kSmall);
+  if (it->second.freq >= 1) {
+    // Re-accessed while on probation: promote into the main FIFO. This does
+    // not free space; the caller keeps evicting until space appears.
+    it->second.where = Where::kMain;
+    it->second.freq = 0;
+    main_fifo_.push_back(victim);
+    ++main_count_;
+  } else {
+    index_.erase(it);
+    ghost_.Insert(victim);
+    NotifyEvict(victim);
+  }
+}
+
+void S3FifoPolicy::EvictMain() {
+  while (true) {
+    QDLP_DCHECK(!main_fifo_.empty());
+    const ObjectId candidate = main_fifo_.front();
+    main_fifo_.pop_front();
+    auto it = index_.find(candidate);
+    QDLP_DCHECK(it != index_.end() && it->second.where == Where::kMain);
+    if (it->second.freq > 0) {
+      // Lazy promotion: demonstrated reuse buys another lap at freq - 1.
+      --it->second.freq;
+      main_fifo_.push_back(candidate);
+      continue;
+    }
+    --main_count_;
+    index_.erase(it);
+    NotifyEvict(candidate);
+    return;
+  }
+}
+
+void S3FifoPolicy::MakeRoom() {
+  while (index_.size() >= capacity()) {
+    if (small_count_ > 0 && (small_count_ >= small_capacity_ || main_count_ == 0)) {
+      EvictSmall();
+    } else {
+      EvictMain();
+    }
+  }
+}
+
+bool S3FifoPolicy::OnAccess(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    it->second.freq = std::min<uint8_t>(it->second.freq + 1, kMaxFreq);
+    return true;
+  }
+  MakeRoom();
+  if (ghost_.Consume(id)) {
+    InsertMain(id);
+  } else {
+    InsertSmall(id);
+  }
+  return false;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,47 @@
+#include "src/core/sieve.h"
+
+namespace qdlp {
+
+SievePolicy::SievePolicy(size_t capacity) : EvictionPolicy(capacity, "sieve") {
+  index_.reserve(capacity);
+}
+
+void SievePolicy::EvictOne() {
+  QDLP_DCHECK(!queue_.empty());
+  // The hand resumes where the previous eviction stopped; when it falls off
+  // the head (or was never set), it restarts at the tail.
+  if (hand_ == queue_.end()) {
+    hand_ = std::prev(queue_.end());
+  }
+  while (hand_->visited) {
+    hand_->visited = false;
+    if (hand_ == queue_.begin()) {
+      hand_ = std::prev(queue_.end());  // wrap: head -> tail
+    } else {
+      --hand_;  // move toward the head
+    }
+  }
+  const ObjectId victim = hand_->id;
+  const auto next = hand_ == queue_.begin() ? queue_.end() : std::prev(hand_);
+  queue_.erase(hand_);
+  hand_ = next;
+  index_.erase(victim);
+  NotifyEvict(victim);
+}
+
+bool SievePolicy::OnAccess(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    it->second->visited = true;  // the only metadata write on a hit
+    return true;
+  }
+  if (index_.size() == capacity()) {
+    EvictOne();
+  }
+  queue_.push_front(Node{id, false});
+  index_[id] = queue_.begin();
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

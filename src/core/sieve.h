@@ -1,0 +1,44 @@
+// SIEVE (Zhang et al., NSDI'24) — the single-queue lazy-promotion design
+// descended from this paper: FIFO order, one visited bit per object, and a
+// "hand" that sweeps from tail to head *without moving survivors*. Unlike
+// CLOCK, retained objects keep their position while the hand walks past
+// them, and new objects are inserted at the head, behind the hand — which
+// makes the survivors act as a sieve filtering new arrivals. Lazy promotion
+// and quick demotion in one mechanism.
+
+#ifndef QDLP_SRC_CORE_SIEVE_H_
+#define QDLP_SRC_CORE_SIEVE_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "src/policies/eviction_policy.h"
+
+namespace qdlp {
+
+class SievePolicy : public EvictionPolicy {
+ public:
+  explicit SievePolicy(size_t capacity);
+
+  size_t size() const override { return index_.size(); }
+  bool Contains(ObjectId id) const override { return index_.contains(id); }
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  struct Node {
+    ObjectId id;
+    bool visited;
+  };
+
+  void EvictOne();
+
+  std::list<Node> queue_;  // front = head (newest), back = tail (oldest)
+  std::list<Node>::iterator hand_ = queue_.end();
+  std::unordered_map<ObjectId, std::list<Node>::iterator> index_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_CORE_SIEVE_H_

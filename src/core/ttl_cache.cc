@@ -1,0 +1,67 @@
+#include "src/core/ttl_cache.h"
+
+namespace qdlp {
+
+TtlCache::TtlCache(std::unique_ptr<EvictionPolicy> inner,
+                   int max_expirations_per_access)
+    : inner_(std::move(inner)),
+      max_expirations_per_access_(max_expirations_per_access) {
+  QDLP_CHECK(inner_ != nullptr);
+  QDLP_CHECK(max_expirations_per_access >= 0);
+  reaper_ = std::make_unique<ExpiryReaper>(this);
+  inner_->set_eviction_listener(reaper_.get());
+}
+
+void TtlCache::DrainExpired() {
+  if (!inner_->SupportsRemoval()) {
+    return;
+  }
+  int budget = max_expirations_per_access_;
+  while (budget > 0 && !heap_.empty() && heap_.top().first <= now_) {
+    const auto [expires_at, id] = heap_.top();
+    heap_.pop();
+    const auto it = expiry_.find(id);
+    if (it == expiry_.end() || it->second != expires_at) {
+      continue;  // stale heap entry (refreshed or already removed)
+    }
+    expiry_.erase(it);
+    if (inner_->Remove(id)) {
+      ++eager_expirations_;
+    }
+    --budget;
+  }
+}
+
+bool TtlCache::ContainsFresh(ObjectId id) const {
+  if (!inner_->Contains(id)) {
+    return false;
+  }
+  const auto it = expiry_.find(id);
+  return it != expiry_.end() && it->second > now_;
+}
+
+bool TtlCache::Access(ObjectId id, uint64_t ttl) {
+  QDLP_DCHECK(ttl >= 1);
+  ++now_;
+  DrainExpired();
+
+  const auto it = expiry_.find(id);
+  const bool resident = inner_->Contains(id);
+  if (resident && it != expiry_.end() && it->second > now_) {
+    return inner_->Access(id);  // fresh hit
+  }
+  if (resident) {
+    // Stale content: a real cache re-fetches and overwrites in place. The
+    // inner Access keeps the slot; only the freshness clock restarts.
+    ++expired_hits_;
+    inner_->Access(id);
+  } else {
+    inner_->Access(id);  // admission (may evict)
+  }
+  const uint64_t expires_at = now_ + ttl;
+  expiry_[id] = expires_at;
+  heap_.emplace(expires_at, id);
+  return false;
+}
+
+}  // namespace qdlp

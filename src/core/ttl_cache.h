@@ -1,0 +1,74 @@
+// TTL layer over any eviction policy (§2: "removal can either be directly
+// invoked by the user or indirectly via the use of time-to-live").
+//
+// Each admission carries a TTL in logical time (requests). A request to an
+// expired object is a miss and re-admits it with a fresh TTL. Expiration is
+//  * eager when the inner policy supports Remove(): an expiry min-heap is
+//    drained a few entries per access, so dead objects free space promptly
+//    (the Quick-Demotion-by-clock behaviour web caches rely on); or
+//  * lazy otherwise: expired entries linger until evicted or re-accessed,
+//    exactly like memcached's lazy expiration.
+
+#ifndef QDLP_SRC_CORE_TTL_CACHE_H_
+#define QDLP_SRC_CORE_TTL_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/policies/eviction_policy.h"
+
+namespace qdlp {
+
+class TtlCache {
+ public:
+  // `max_expirations_per_access` bounds the eager-cleanup work per request.
+  explicit TtlCache(std::unique_ptr<EvictionPolicy> inner,
+                    int max_expirations_per_access = 4);
+
+  // Requests `id`; on (re-)admission the object lives for `ttl` accesses.
+  // Returns true only for a fresh (non-expired) hit.
+  bool Access(ObjectId id, uint64_t ttl);
+
+  // True when `id` is resident and not expired.
+  bool ContainsFresh(ObjectId id) const;
+
+  uint64_t now() const { return now_; }
+  size_t resident() const { return inner_->size(); }
+  uint64_t expired_hits() const { return expired_hits_; }
+  uint64_t eager_expirations() const { return eager_expirations_; }
+  const EvictionPolicy& inner() const { return *inner_; }
+
+ private:
+  // Erases freshness metadata when the inner policy evicts, so `expiry_`
+  // tracks only resident objects.
+  class ExpiryReaper : public EvictionListener {
+   public:
+    explicit ExpiryReaper(TtlCache* owner) : owner_(owner) {}
+    void OnInsert(ObjectId, uint64_t) override {}
+    void OnEvict(ObjectId id, uint64_t) override { owner_->expiry_.erase(id); }
+
+   private:
+    TtlCache* owner_;
+  };
+
+  void DrainExpired();
+
+  std::unique_ptr<EvictionPolicy> inner_;
+  std::unique_ptr<ExpiryReaper> reaper_;
+  int max_expirations_per_access_;
+  uint64_t now_ = 0;
+  std::unordered_map<ObjectId, uint64_t> expiry_;  // id -> expires-at time
+  // Min-heap of (expires_at, id); entries may be stale (object refreshed or
+  // already gone) and are skipped on pop.
+  using HeapEntry = std::pair<uint64_t, ObjectId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  uint64_t expired_hits_ = 0;
+  uint64_t eager_expirations_ = 0;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_CORE_TTL_CACHE_H_

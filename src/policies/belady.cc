@@ -1,0 +1,55 @@
+#include "src/policies/belady.h"
+
+namespace qdlp {
+
+BeladyPolicy::BeladyPolicy(size_t capacity, const std::vector<ObjectId>& trace)
+    : EvictionPolicy(capacity, "belady") {
+  next_use_.resize(trace.size());
+  std::unordered_map<ObjectId, uint64_t> upcoming;
+  upcoming.reserve(trace.size() / 2);
+  for (size_t i = trace.size(); i-- > 0;) {
+    const auto it = upcoming.find(trace[i]);
+    next_use_[i] = it == upcoming.end() ? kNever : it->second;
+    upcoming[trace[i]] = i;
+  }
+  resident_.reserve(capacity);
+}
+
+bool BeladyPolicy::OnAccess(ObjectId id) {
+  QDLP_CHECK_MSG(position_ < next_use_.size(),
+                 "Belady accessed past the end of its trace");
+  const uint64_t next = next_use_[position_];
+  ++position_;
+
+  const auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    by_next_use_.erase({it->second, id});
+    it->second = next;
+    by_next_use_.insert({next, id});
+    return true;
+  }
+  if (next == kNever) {
+    // Optimal never caches an object without a future use; admitting it can
+    // only displace useful data. Count the miss and bypass the cache.
+    return false;
+  }
+  if (resident_.size() == capacity()) {
+    // MIN considers the incoming object as an eviction candidate too: if its
+    // next use is farther than every resident's, admitting it would be the
+    // mistake, so bypass instead.
+    const auto victim_it = std::prev(by_next_use_.end());
+    if (victim_it->first <= next) {
+      return false;
+    }
+    const ObjectId victim = victim_it->second;
+    by_next_use_.erase(victim_it);
+    resident_.erase(victim);
+    NotifyEvict(victim);
+  }
+  resident_[id] = next;
+  by_next_use_.insert({next, id});
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,48 @@
+// Belady's MIN — the offline optimal for uniform-size objects (IBM Systems
+// Journal, 1966). Evicts the resident object whose next use is farthest in
+// the future. Used in Fig. 3 / Table 2 as the efficiency upper bound and in
+// property tests as an oracle (no online policy may beat it).
+//
+// Belady needs the future: construct it with the full trace; Access() must
+// then be called exactly in trace order. The simulator handles this
+// transparently via MakePolicy(..., trace).
+
+#ifndef QDLP_SRC_POLICIES_BELADY_H_
+#define QDLP_SRC_POLICIES_BELADY_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/policies/eviction_policy.h"
+
+namespace qdlp {
+
+class BeladyPolicy : public EvictionPolicy {
+ public:
+  BeladyPolicy(size_t capacity, const std::vector<ObjectId>& trace);
+
+  size_t size() const override { return resident_.size(); }
+  bool Contains(ObjectId id) const override { return resident_.contains(id); }
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  static constexpr uint64_t kNever = ~0ULL;
+
+  // next_use_[i] = position of the next request for trace[i]'s object after
+  // position i, or kNever.
+  std::vector<uint64_t> next_use_;
+  uint64_t position_ = 0;
+
+  // Resident objects keyed by their next-use position (kNever entries are
+  // disambiguated by id in the ordered set).
+  std::unordered_map<ObjectId, uint64_t> resident_;  // id -> next use
+  std::set<std::pair<uint64_t, ObjectId>> by_next_use_;  // max = victim
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_BELADY_H_

@@ -1,0 +1,129 @@
+#include "src/policies/cacheus.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdlp {
+
+CacheusPolicy::CacheusPolicy(size_t capacity, uint64_t seed)
+    : EvictionPolicy(capacity, "cacheus"), rng_(seed) {
+  discount_ = std::pow(0.005, 1.0 / static_cast<double>(capacity));
+  window_length_ = std::max<uint64_t>(100, capacity);
+  entries_.reserve(capacity);
+}
+
+void CacheusPolicy::History::Push(ObjectId id, uint64_t time, size_t max_size) {
+  fifo.emplace_back(id, time);
+  index[id] = time;
+  while (index.size() > max_size && !fifo.empty()) {
+    const auto [oldest_id, oldest_time] = fifo.front();
+    fifo.pop_front();
+    const auto it = index.find(oldest_id);
+    if (it != index.end() && it->second == oldest_time) {
+      index.erase(it);
+    }
+  }
+}
+
+void CacheusPolicy::UpdateWeights(double& wrong, double& other,
+                                  uint64_t evicted_at) {
+  const double age = static_cast<double>(now() - evicted_at);
+  const double reward = std::pow(discount_, age);
+  other *= std::exp(learning_rate_ * reward);
+  const double total = wrong + other;
+  wrong /= total;
+  other /= total;
+}
+
+void CacheusPolicy::MaybeAdaptLearningRate() {
+  if (window_requests_ < window_length_) {
+    return;
+  }
+  const double hit_rate =
+      static_cast<double>(window_hits_) / static_cast<double>(window_requests_);
+  if (previous_window_hit_rate_ >= 0.0) {
+    if (hit_rate < previous_window_hit_rate_) {
+      // Regressed: reverse the search direction and shrink the step.
+      rate_direction_ = -rate_direction_;
+      learning_rate_ *= (rate_direction_ > 0 ? 1.05 : 0.95);
+    } else {
+      // Improved (or flat): keep climbing in the same direction.
+      learning_rate_ *= (rate_direction_ > 0 ? 1.10 : 0.90);
+    }
+    learning_rate_ = std::clamp(learning_rate_, 1e-3, 1.0);
+    if (learning_rate_ <= 1e-3) {
+      // Random restart, as in the CACHEUS reference implementation.
+      learning_rate_ = rng_.NextRange(0.05, 0.5);
+      rate_direction_ = 1.0;
+    }
+  }
+  previous_window_hit_rate_ = hit_rate;
+  window_requests_ = 0;
+  window_hits_ = 0;
+}
+
+void CacheusPolicy::EvictOne() {
+  QDLP_DCHECK(!entries_.empty());
+  const bool use_lru = rng_.NextDouble() < w_lru_;
+  ObjectId victim;
+  if (use_lru) {
+    victim = lru_list_.back();
+  } else {
+    victim = lfu_order_.begin()->second;
+  }
+  const Entry& entry = entries_.at(victim);
+  lru_list_.erase(entry.lru_position);
+  lfu_order_.erase({{entry.frequency, entry.last_access}, victim});
+  entries_.erase(victim);
+  NotifyEvict(victim);
+  if (use_lru) {
+    lru_history_.Push(victim, now(), capacity());
+  } else {
+    lfu_history_.Push(victim, now(), capacity());
+  }
+}
+
+bool CacheusPolicy::OnAccess(ObjectId id) {
+  ++window_requests_;
+  MaybeAdaptLearningRate();
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    ++window_hits_;
+    Entry& entry = it->second;
+    lru_list_.splice(lru_list_.begin(), lru_list_, entry.lru_position);
+    lfu_order_.erase({{entry.frequency, entry.last_access}, id});
+    ++entry.frequency;
+    entry.last_access = now();
+    lfu_order_.insert({{entry.frequency, entry.last_access}, id});
+    return true;
+  }
+
+  const auto lru_hist = lru_history_.index.find(id);
+  if (lru_hist != lru_history_.index.end()) {
+    const uint64_t evicted_at = lru_hist->second;
+    lru_history_.index.erase(lru_hist);
+    UpdateWeights(w_lru_, w_lfu_, evicted_at);
+  } else {
+    const auto lfu_hist = lfu_history_.index.find(id);
+    if (lfu_hist != lfu_history_.index.end()) {
+      const uint64_t evicted_at = lfu_hist->second;
+      lfu_history_.index.erase(lfu_hist);
+      UpdateWeights(w_lfu_, w_lru_, evicted_at);
+    }
+  }
+
+  if (entries_.size() == capacity()) {
+    EvictOne();
+  }
+  Entry entry;
+  entry.frequency = 1;
+  entry.last_access = now();
+  lru_list_.push_front(id);
+  entry.lru_position = lru_list_.begin();
+  lfu_order_.insert({{entry.frequency, entry.last_access}, id});
+  entries_[id] = entry;
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

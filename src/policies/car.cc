@@ -1,0 +1,135 @@
+#include "src/policies/car.h"
+
+#include <algorithm>
+
+namespace qdlp {
+
+CarPolicy::CarPolicy(size_t capacity) : EvictionPolicy(capacity, "car") {
+  index_.reserve(capacity * 2);
+}
+
+bool CarPolicy::Contains(ObjectId id) const {
+  const auto it = index_.find(id);
+  return it != index_.end() &&
+         (it->second.list == ListId::kT1 || it->second.list == ListId::kT2);
+}
+
+std::list<ObjectId>& CarPolicy::ListFor(ListId list) {
+  switch (list) {
+    case ListId::kT1:
+      return t1_;
+    case ListId::kT2:
+      return t2_;
+    case ListId::kB1:
+      return b1_;
+    case ListId::kB2:
+      return b2_;
+  }
+  QDLP_CHECK(false);
+  return t1_;
+}
+
+void CarPolicy::RemoveFrom(ObjectId id) {
+  auto it = index_.find(id);
+  QDLP_DCHECK(it != index_.end());
+  ListFor(it->second.list).erase(it->second.position);
+  index_.erase(it);
+}
+
+void CarPolicy::PushBack(ObjectId id, ListId target, bool reference) {
+  auto& entry = index_[id];
+  auto& dest = ListFor(target);
+  dest.push_back(id);
+  entry.list = target;
+  entry.reference = reference;
+  entry.position = std::prev(dest.end());
+}
+
+void CarPolicy::PushGhostMru(ObjectId id, ListId target) {
+  auto& entry = index_.at(id);
+  ListFor(entry.list).erase(entry.position);
+  auto& dest = ListFor(target);
+  dest.push_front(id);
+  entry.list = target;
+  entry.reference = false;
+  entry.position = dest.begin();
+}
+
+void CarPolicy::Replace() {
+  while (true) {
+    if (static_cast<double>(t1_.size()) >= std::max(1.0, p_) && !t1_.empty()) {
+      const ObjectId head = t1_.front();
+      Entry& entry = index_.at(head);
+      if (!entry.reference) {
+        NotifyEvict(head);
+        PushGhostMru(head, ListId::kB1);
+        return;
+      }
+      // Referenced in T1: clear the bit and graduate to the tail of T2.
+      t1_.pop_front();
+      t2_.push_back(head);
+      entry.list = ListId::kT2;
+      entry.reference = false;
+      entry.position = std::prev(t2_.end());
+    } else {
+      QDLP_DCHECK(!t2_.empty());
+      const ObjectId head = t2_.front();
+      Entry& entry = index_.at(head);
+      if (!entry.reference) {
+        NotifyEvict(head);
+        PushGhostMru(head, ListId::kB2);
+        return;
+      }
+      // Second chance within T2.
+      t2_.splice(t2_.end(), t2_, entry.position);
+      entry.reference = false;
+      entry.position = std::prev(t2_.end());
+    }
+  }
+}
+
+bool CarPolicy::OnAccess(ObjectId id) {
+  const size_t c = capacity();
+  auto it = index_.find(id);
+  if (it != index_.end() &&
+      (it->second.list == ListId::kT1 || it->second.list == ListId::kT2)) {
+    it->second.reference = true;  // the only hit-path metadata write
+    return true;
+  }
+  const bool in_b1 = it != index_.end() && it->second.list == ListId::kB1;
+  const bool in_b2 = it != index_.end() && it->second.list == ListId::kB2;
+
+  if (t1_.size() + t2_.size() == c) {
+    Replace();
+    if (!in_b1 && !in_b2) {
+      if (t1_.size() + b1_.size() == c && !b1_.empty()) {
+        RemoveFrom(b1_.back());
+      } else if (t1_.size() + t2_.size() + b1_.size() + b2_.size() == 2 * c &&
+                 !b2_.empty()) {
+        RemoveFrom(b2_.back());
+      }
+    }
+  }
+
+  if (!in_b1 && !in_b2) {
+    PushBack(id, ListId::kT1, false);
+  } else if (in_b1) {
+    const double delta = std::max(
+        1.0, static_cast<double>(b2_.size()) / static_cast<double>(b1_.size()));
+    p_ = std::min(p_ + delta, static_cast<double>(c));
+    ListFor(ListId::kB1).erase(it->second.position);
+    index_.erase(it);
+    PushBack(id, ListId::kT2, false);
+  } else {
+    const double delta = std::max(
+        1.0, static_cast<double>(b1_.size()) / static_cast<double>(b2_.size()));
+    p_ = std::max(p_ - delta, 0.0);
+    ListFor(ListId::kB2).erase(it->second.position);
+    index_.erase(it);
+    PushBack(id, ListId::kT2, false);
+  }
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,61 @@
+// CAR — CLOCK with Adaptive Replacement (Bansal & Modha, FAST'04).
+//
+// ARC's adaptive recency/frequency split with the two LRU lists replaced by
+// CLOCKs: hits only set a reference bit (lazy promotion), evictions sweep
+// the clocks demoting referenced pages from T1 into T2. This is precisely
+// the §5 observation "replacing the LRU queues in ARC with FIFO-Reinsertion
+// also reduces the miss ratio", published as a full algorithm a year after
+// ARC. Implementation follows Fig. 2 of the FAST'04 paper.
+
+#ifndef QDLP_SRC_POLICIES_CAR_H_
+#define QDLP_SRC_POLICIES_CAR_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "src/policies/eviction_policy.h"
+
+namespace qdlp {
+
+class CarPolicy : public EvictionPolicy {
+ public:
+  explicit CarPolicy(size_t capacity);
+
+  size_t size() const override { return t1_.size() + t2_.size(); }
+  bool Contains(ObjectId id) const override;
+
+  size_t t1_size() const { return t1_.size(); }
+  size_t t2_size() const { return t2_.size(); }
+  size_t b1_size() const { return b1_.size(); }
+  size_t b2_size() const { return b2_.size(); }
+  double target_p() const { return p_; }
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  enum class ListId { kT1, kT2, kB1, kB2 };
+  struct Entry {
+    ListId list;
+    bool reference = false;
+    std::list<ObjectId>::iterator position;
+  };
+
+  // The clocks are modeled as lists with the hand at the front: "advance the
+  // hand past x" = splice x to the back. Ghosts are plain LRU lists
+  // (front = MRU).
+  std::list<ObjectId>& ListFor(ListId list);
+  void Replace();
+  void RemoveFrom(ObjectId id);
+  void PushBack(ObjectId id, ListId target, bool reference);
+  void PushGhostMru(ObjectId id, ListId target);
+
+  double p_ = 0.0;
+  std::list<ObjectId> t1_, t2_;  // front = clock hand position
+  std::list<ObjectId> b1_, b2_;  // front = MRU, back = LRU
+  std::unordered_map<ObjectId, Entry> index_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_CAR_H_

@@ -1,0 +1,90 @@
+#include "src/policies/clock.h"
+
+#include <string>
+
+namespace qdlp {
+
+namespace {
+std::string ClockName(int bits) {
+  if (bits == 1) {
+    return "fifo-reinsertion";
+  }
+  return "clock" + std::to_string(bits);
+}
+}  // namespace
+
+ClockPolicy::ClockPolicy(size_t capacity, int bits)
+    : EvictionPolicy(capacity, ClockName(bits)), bits_(bits) {
+  QDLP_CHECK(bits >= 1 && bits <= 8);
+  max_counter_ = static_cast<uint8_t>((1u << bits) - 1);
+  ring_.reserve(capacity);
+  index_.reserve(capacity);
+}
+
+bool ClockPolicy::OnAccess(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    Slot& slot = ring_[it->second];
+    if (slot.counter < max_counter_) {
+      ++slot.counter;
+    }
+    return true;
+  }
+  if (!free_slots_.empty()) {
+    // Reuse a slot vacated by Remove().
+    const size_t slot_index = free_slots_.back();
+    free_slots_.pop_back();
+    ring_[slot_index] = Slot{id, 0, true};
+    index_[id] = slot_index;
+    NotifyInsert(id);
+    return false;
+  }
+  if (ring_.size() < capacity()) {
+    // Still filling: append in FIFO order.
+    index_[id] = ring_.size();
+    ring_.push_back(Slot{id, 0, true});
+    NotifyInsert(id);
+    return false;
+  }
+  const size_t slot_index = EvictOne();
+  ring_[slot_index] = Slot{id, 0, true};
+  index_[id] = slot_index;
+  NotifyInsert(id);
+  // Advance past the slot we just filled so the new object gets a full lap
+  // before it is considered for eviction, matching FIFO insertion order.
+  hand_ = (slot_index + 1) % ring_.size();
+  return false;
+}
+
+size_t ClockPolicy::EvictOne() {
+  while (true) {
+    Slot& slot = ring_[hand_];
+    if (!slot.occupied) {
+      hand_ = (hand_ + 1) % ring_.size();
+      continue;
+    }
+    if (slot.counter == 0) {
+      index_.erase(slot.id);
+      slot.occupied = false;
+      NotifyEvict(slot.id);
+      return hand_;
+    }
+    --slot.counter;
+    hand_ = (hand_ + 1) % ring_.size();
+  }
+}
+
+bool ClockPolicy::Remove(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    return false;
+  }
+  const size_t slot_index = it->second;
+  ring_[slot_index].occupied = false;
+  free_slots_.push_back(slot_index);
+  index_.erase(it);
+  NotifyEvict(id);
+  return true;
+}
+
+}  // namespace qdlp

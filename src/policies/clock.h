@@ -1,0 +1,61 @@
+// k-bit CLOCK, the paper's Lazy Promotion instance (§3).
+//
+// bits == 1 is FIFO-Reinsertion / Second Chance / 1-bit CLOCK — the paper
+// notes these are the same algorithm. A hit increments the object's counter
+// (saturating at 2^bits - 1) without moving anything; at eviction time the
+// hand sweeps the ring, decrementing non-zero counters ("reinsertion") and
+// evicting the first zero-counter object. Hits touch one small counter and
+// need no locking — LP keeps FIFO's throughput profile.
+
+#ifndef QDLP_SRC_POLICIES_CLOCK_H_
+#define QDLP_SRC_POLICIES_CLOCK_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/policies/eviction_policy.h"
+
+namespace qdlp {
+
+class ClockPolicy : public EvictionPolicy {
+ public:
+  // `bits` in [1, 8]: reference-counter width. New objects start at 0.
+  ClockPolicy(size_t capacity, int bits = 1);
+
+  size_t size() const override { return index_.size(); }
+  bool Contains(ObjectId id) const override { return index_.contains(id); }
+
+  // Removal (for TTL): the slot is freed and reused by the next admission.
+  // Reusing a freed slot places the newcomer at the removed object's ring
+  // position — an approximation inherent to ring CLOCKs.
+  bool Remove(ObjectId id) override;
+  bool SupportsRemoval() const override { return true; }
+
+  int bits() const { return bits_; }
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  struct Slot {
+    ObjectId id = 0;
+    uint8_t counter = 0;
+    bool occupied = false;
+  };
+
+  // Advances the hand to a victim slot (decrementing counters), evicts its
+  // occupant, and returns the slot index for reuse.
+  size_t EvictOne();
+
+  int bits_;
+  uint8_t max_counter_;
+  std::vector<Slot> ring_;
+  size_t hand_ = 0;
+  std::unordered_map<ObjectId, size_t> index_;  // id -> ring slot
+  std::vector<size_t> free_slots_;  // slots vacated by Remove()
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_CLOCK_H_

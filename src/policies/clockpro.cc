@@ -1,0 +1,157 @@
+#include "src/policies/clockpro.h"
+
+#include <algorithm>
+
+namespace qdlp {
+
+ClockProPolicy::ClockProPolicy(size_t capacity)
+    : EvictionPolicy(capacity, "clockpro") {
+  // Start with the whole cache cold, as the ATC'05 paper does; the first
+  // successful test periods grow the hot set by shrinking cold_target_.
+  cold_target_ = capacity;
+  entries_.reserve(capacity);
+}
+
+bool ClockProPolicy::Contains(ObjectId id) const {
+  return entries_.contains(id);
+}
+
+void ClockProPolicy::GrowColdTarget() {
+  cold_target_ = std::min(cold_target_ + 1, capacity());
+}
+
+void ClockProPolicy::ShrinkColdTarget() {
+  if (cold_target_ > 1) {
+    --cold_target_;
+  }
+}
+
+void ClockProPolicy::TestInsert(ObjectId id) {
+  const uint64_t generation = test_generation_++;
+  test_fifo_.push_back(id);
+  test_live_[id] = generation;
+  // hand_test: the metadata window is bounded by the cache size.
+  while (test_live_.size() > capacity() && !test_fifo_.empty()) {
+    const ObjectId oldest = test_fifo_.front();
+    test_fifo_.pop_front();
+    // An expired, never re-accessed test page: cold pages are not earning
+    // their keep at this window size.
+    if (test_live_.erase(oldest) > 0) {
+      ShrinkColdTarget();
+    }
+  }
+}
+
+void ClockProPolicy::AdmitHot(ObjectId id) {
+  entries_[id] = Entry{State::kHot, false};
+  hot_queue_.push_back(id);
+  ++hot_count_;
+}
+
+void ClockProPolicy::AdmitCold(ObjectId id) {
+  entries_[id] = Entry{State::kCold, false};
+  cold_queue_.push_back(id);
+  ++cold_count_;
+}
+
+void ClockProPolicy::RunHandHot() {
+  // Demote hot pages while the hot allocation is exceeded.
+  while (hot_count_ > 0 &&
+         hot_count_ > capacity() - std::min(cold_target_, capacity() - 1)) {
+    QDLP_DCHECK(!hot_queue_.empty());
+    const ObjectId head = hot_queue_.front();
+    hot_queue_.pop_front();
+    auto it = entries_.find(head);
+    if (it == entries_.end() || it->second.state != State::kHot) {
+      continue;  // stale record
+    }
+    if (it->second.reference) {
+      it->second.reference = false;  // second chance
+      hot_queue_.push_back(head);
+      continue;
+    }
+    // Demote to cold; it starts a fresh test period at the cold tail.
+    it->second.state = State::kCold;
+    --hot_count_;
+    ++cold_count_;
+    cold_queue_.push_back(head);
+  }
+}
+
+void ClockProPolicy::RunHandCold() {
+  while (true) {
+    if (cold_count_ == 0) {
+      // Everything is hot: force a demotion so the cold hand has material.
+      QDLP_DCHECK(hot_count_ > 0);
+      const ObjectId head = hot_queue_.front();
+      hot_queue_.pop_front();
+      auto it = entries_.find(head);
+      if (it == entries_.end() || it->second.state != State::kHot) {
+        continue;
+      }
+      if (it->second.reference) {
+        it->second.reference = false;
+        hot_queue_.push_back(head);
+        continue;
+      }
+      it->second.state = State::kCold;
+      --hot_count_;
+      ++cold_count_;
+      cold_queue_.push_back(head);
+      continue;
+    }
+    QDLP_DCHECK(!cold_queue_.empty());
+    const ObjectId head = cold_queue_.front();
+    cold_queue_.pop_front();
+    auto it = entries_.find(head);
+    if (it == entries_.end() || it->second.state != State::kCold) {
+      continue;  // stale record
+    }
+    if (it->second.reference) {
+      // Test succeeded while resident: the page is hot, and cold pages in
+      // general deserve a longer test window.
+      it->second.state = State::kHot;
+      it->second.reference = false;
+      --cold_count_;
+      ++hot_count_;
+      hot_queue_.push_back(head);
+      GrowColdTarget();
+      RunHandHot();
+      continue;
+    }
+    // Test failed while resident: evict the data, keep test metadata.
+    entries_.erase(it);
+    --cold_count_;
+    NotifyEvict(head);
+    TestInsert(head);
+    return;
+  }
+}
+
+bool ClockProPolicy::OnAccess(ObjectId id) {
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.reference = true;  // the only hit-path write
+    return true;
+  }
+  // Consult the test window before making room: this access must not be
+  // judged against metadata trimmed by its own eviction.
+  const bool test_hit = test_live_.erase(id) > 0;
+  if (size() == capacity()) {
+    RunHandCold();
+    RunHandHot();
+  }
+  if (test_hit) {
+    // Re-accessed during its (non-resident) test period: reuse distance
+    // beats the coldest hot page — admit hot, and reward cold pages.
+    GrowColdTarget();
+    AdmitHot(id);
+    RunHandHot();
+  } else {
+    AdmitCold(id);
+  }
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

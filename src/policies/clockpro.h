@@ -1,0 +1,86 @@
+// CLOCK-Pro (Jiang, Chen & Zhang, USENIX ATC'05) — LIRS's reuse-distance
+// idea re-cast as a CLOCK, cited by the paper as one of the CLOCK-family
+// designs ([38]).
+//
+// Implementation note: the paper describes one circular list with three
+// hands (hand_cold, hand_hot, hand_test). We use the equivalent three-queue
+// formulation, where each queue's head is one hand:
+//
+//   * cold queue  — resident cold pages in their test period. hand_cold
+//                   pops the head: referenced -> promoted to hot (the test
+//                   succeeded); unreferenced -> demoted to non-resident
+//                   test metadata.
+//   * hot queue   — hot pages. When hot exceeds its allocation, hand_hot
+//                   pops the head: referenced -> reinserted (second
+//                   chance); unreferenced -> demoted to the cold queue.
+//   * test queue  — non-resident metadata, FIFO-bounded by the cache size
+//                   (hand_test). A miss that hits it is admitted as HOT:
+//                   its reuse distance beat the coldest hot page.
+//
+// The cold allocation m_c adapts exactly as in the paper: +1 when a test
+// succeeds (cold pages are proving useful), -1 when a test period expires
+// unreferenced. Hits only set a reference bit (lazy promotion).
+
+#ifndef QDLP_SRC_POLICIES_CLOCKPRO_H_
+#define QDLP_SRC_POLICIES_CLOCKPRO_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "src/policies/eviction_policy.h"
+
+namespace qdlp {
+
+class ClockProPolicy : public EvictionPolicy {
+ public:
+  explicit ClockProPolicy(size_t capacity);
+
+  size_t size() const override { return hot_count_ + cold_count_; }
+  bool Contains(ObjectId id) const override;
+
+  size_t hot_count() const { return hot_count_; }
+  size_t cold_count() const { return cold_count_; }
+  size_t cold_target() const { return cold_target_; }
+  size_t nonresident_count() const { return test_live_.size(); }
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  enum class State : uint8_t { kHot, kCold };
+  struct Entry {
+    State state;
+    bool reference;
+  };
+
+  // hand_cold: frees one resident slot (promoting or demoting the head).
+  void RunHandCold();
+  // hand_hot: enforces the hot allocation.
+  void RunHandHot();
+  void AdmitHot(ObjectId id);
+  void AdmitCold(ObjectId id);
+  void TestInsert(ObjectId id);
+  void GrowColdTarget();
+  void ShrinkColdTarget();
+
+  size_t cold_target_;
+  size_t hot_count_ = 0;
+  size_t cold_count_ = 0;
+
+  // Queues hold ids; stale records (state changed since push) are skipped
+  // via the generation in entries_. Simpler: each id lives in exactly one
+  // queue at a time, re-pushed whenever its state changes.
+  std::deque<ObjectId> hot_queue_;   // front = hand_hot
+  std::deque<ObjectId> cold_queue_;  // front = hand_cold
+  std::unordered_map<ObjectId, Entry> entries_;  // resident pages only
+
+  // Non-resident test metadata (hand_test), FIFO-bounded.
+  std::deque<ObjectId> test_fifo_;
+  std::unordered_map<ObjectId, uint64_t> test_live_;  // id -> generation
+  uint64_t test_generation_ = 0;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_CLOCKPRO_H_

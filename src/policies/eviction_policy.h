@@ -1,0 +1,99 @@
+// Eviction-policy interface.
+//
+// This is the paper's cache abstraction (§2, Fig 1): a cache is a logically
+// total-ordered set of uniform-size objects with insertion, removal,
+// promotion, and demotion; the eviction algorithm decides the ordering. A
+// policy consumes a request stream one object id at a time and reports
+// hit/miss; everything else (ordering, ghosts, adaptation) is internal.
+//
+// Policies advance a logical clock by one per access. An optional
+// EvictionListener observes admissions and evictions with their timestamps;
+// the simulator uses it to compute the per-object resource consumption of
+// Fig. 3 ((t_evicted - t_inserted) / cache_size per residency).
+
+#ifndef QDLP_SRC_POLICIES_EVICTION_POLICY_H_
+#define QDLP_SRC_POLICIES_EVICTION_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/trace/trace.h"
+#include "src/util/check.h"
+
+namespace qdlp {
+
+class EvictionListener {
+ public:
+  virtual ~EvictionListener() = default;
+  // `id` was admitted into cache space at logical time `time`.
+  virtual void OnInsert(ObjectId id, uint64_t time) = 0;
+  // `id` left cache space at logical time `time`.
+  virtual void OnEvict(ObjectId id, uint64_t time) = 0;
+};
+
+class EvictionPolicy {
+ public:
+  EvictionPolicy(size_t capacity, std::string name)
+      : capacity_(capacity), name_(std::move(name)) {
+    QDLP_CHECK(capacity >= 1);
+  }
+  virtual ~EvictionPolicy() = default;
+
+  EvictionPolicy(const EvictionPolicy&) = delete;
+  EvictionPolicy& operator=(const EvictionPolicy&) = delete;
+
+  // Requests `id`. Returns true on a cache hit. On a miss the object is
+  // admitted (possibly evicting), so a policy is also an admission point.
+  bool Access(ObjectId id) {
+    ++now_;
+    return OnAccess(id);
+  }
+
+  // Number of objects currently holding cache space.
+  virtual size_t size() const = 0;
+  // True when `id` currently holds cache space (ghost entries don't count).
+  virtual bool Contains(ObjectId id) const = 0;
+
+  // User-controlled removal (§2, Fig 1: removal is one of the four cache
+  // operations — invoked directly or via TTL). Returns true if the object
+  // was resident and has been removed. Policies that don't implement
+  // removal return false without touching state; callers can check
+  // SupportsRemoval() and fall back to lazy invalidation.
+  virtual bool Remove(ObjectId id) {
+    (void)id;
+    return false;
+  }
+  virtual bool SupportsRemoval() const { return false; }
+
+  size_t capacity() const { return capacity_; }
+  const std::string& name() const { return name_; }
+  uint64_t now() const { return now_; }
+
+  void set_eviction_listener(EvictionListener* listener) { listener_ = listener; }
+
+ protected:
+  virtual bool OnAccess(ObjectId id) = 0;
+
+  void NotifyInsert(ObjectId id) {
+    if (listener_ != nullptr) {
+      listener_->OnInsert(id, now_);
+    }
+  }
+  void NotifyEvict(ObjectId id) {
+    if (listener_ != nullptr) {
+      listener_->OnEvict(id, now_);
+    }
+  }
+  EvictionListener* listener() const { return listener_; }
+
+ private:
+  size_t capacity_;
+  std::string name_;
+  uint64_t now_ = 0;
+  EvictionListener* listener_ = nullptr;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_EVICTION_POLICY_H_

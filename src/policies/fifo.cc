@@ -1,0 +1,48 @@
+#include "src/policies/fifo.h"
+
+namespace qdlp {
+
+FifoPolicy::FifoPolicy(size_t capacity) : EvictionPolicy(capacity, "fifo") {
+  live_.reserve(capacity);
+}
+
+void FifoPolicy::EvictOldest() {
+  while (!queue_.empty()) {
+    const auto [id, generation] = queue_.front();
+    queue_.pop_front();
+    const auto it = live_.find(id);
+    if (it == live_.end() || it->second != generation) {
+      continue;  // stale record (removed earlier)
+    }
+    live_.erase(it);
+    NotifyEvict(id);
+    return;
+  }
+  QDLP_CHECK(false);  // eviction requested from an empty cache
+}
+
+bool FifoPolicy::OnAccess(ObjectId id) {
+  if (live_.contains(id)) {
+    return true;
+  }
+  if (live_.size() == capacity()) {
+    EvictOldest();
+  }
+  const uint64_t generation = next_generation_++;
+  queue_.emplace_back(id, generation);
+  live_[id] = generation;
+  NotifyInsert(id);
+  return false;
+}
+
+bool FifoPolicy::Remove(ObjectId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) {
+    return false;
+  }
+  live_.erase(it);  // the queue record goes stale
+  NotifyEvict(id);
+  return true;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,48 @@
+// FIFO eviction: evict in insertion order, no promotion of any kind.
+//
+// The paper's base algorithm. Zero metadata updates on a hit, which is what
+// gives FIFO its throughput/scalability/flash-friendliness advantages (§2);
+// the miss-ratio gap to LRU is what LP and QD close.
+//
+// Supports user removal (for TTL): removed ids leave the index immediately;
+// their queue records go stale and are skipped during eviction
+// (generation-tagged, so a re-admitted id is not hurt by its old record).
+
+#ifndef QDLP_SRC_POLICIES_FIFO_H_
+#define QDLP_SRC_POLICIES_FIFO_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+#include "src/policies/eviction_policy.h"
+
+namespace qdlp {
+
+class FifoPolicy : public EvictionPolicy {
+ public:
+  explicit FifoPolicy(size_t capacity);
+
+  size_t size() const override { return live_.size(); }
+  bool Contains(ObjectId id) const override { return live_.contains(id); }
+
+  bool Remove(ObjectId id) override;
+  bool SupportsRemoval() const override { return true; }
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  void EvictOldest();
+
+  // front = oldest. Records whose generation no longer matches live_ are
+  // stale (removed or superseded) and skipped.
+  std::deque<std::pair<ObjectId, uint64_t>> queue_;
+  std::unordered_map<ObjectId, uint64_t> live_;  // id -> generation
+  uint64_t next_generation_ = 0;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_FIFO_H_

@@ -1,0 +1,58 @@
+#include "src/policies/hyperbolic.h"
+
+#include <algorithm>
+
+namespace qdlp {
+
+HyperbolicPolicy::HyperbolicPolicy(size_t capacity, uint64_t seed,
+                                   size_t sample_size)
+    : EvictionPolicy(capacity, "hyperbolic"),
+      rng_(seed),
+      sample_size_(sample_size) {
+  QDLP_CHECK(sample_size >= 1);
+  index_.reserve(capacity);
+  objects_.reserve(capacity);
+}
+
+void HyperbolicPolicy::EvictOne() {
+  QDLP_DCHECK(!objects_.empty());
+  size_t victim_pos = 0;
+  double victim_priority = 0.0;
+  bool have_victim = false;
+  const size_t samples = std::min(sample_size_, objects_.size());
+  for (size_t i = 0; i < samples; ++i) {
+    const size_t pos = rng_.NextBounded(objects_.size());
+    const Object& object = objects_[pos];
+    const double lifetime =
+        static_cast<double>(now() - object.inserted_at) + 1.0;
+    const double priority = static_cast<double>(object.frequency) / lifetime;
+    if (!have_victim || priority < victim_priority) {
+      have_victim = true;
+      victim_priority = priority;
+      victim_pos = pos;
+    }
+  }
+  const ObjectId victim_id = objects_[victim_pos].id;
+  objects_[victim_pos] = objects_.back();
+  index_[objects_[victim_pos].id] = victim_pos;
+  objects_.pop_back();
+  index_.erase(victim_id);
+  NotifyEvict(victim_id);
+}
+
+bool HyperbolicPolicy::OnAccess(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    ++objects_[it->second].frequency;
+    return true;
+  }
+  if (objects_.size() == capacity()) {
+    EvictOne();
+  }
+  index_[id] = objects_.size();
+  objects_.push_back(Object{id, now(), 1});
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,48 @@
+// Hyperbolic caching (Blankstein, Sen & Freedman, ATC'17).
+//
+// Priority of an object is frequency / time-in-cache; eviction removes the
+// sampled object with the lowest priority. The paper (§5) lists Hyperbolic
+// as an alternative Quick Demotion mechanism — new objects with few accesses
+// have low priority and are demoted fast.
+
+#ifndef QDLP_SRC_POLICIES_HYPERBOLIC_H_
+#define QDLP_SRC_POLICIES_HYPERBOLIC_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/policies/eviction_policy.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+
+class HyperbolicPolicy : public EvictionPolicy {
+ public:
+  explicit HyperbolicPolicy(size_t capacity, uint64_t seed = 17,
+                            size_t sample_size = 64);
+
+  size_t size() const override { return index_.size(); }
+  bool Contains(ObjectId id) const override { return index_.contains(id); }
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  struct Object {
+    ObjectId id = 0;
+    uint64_t inserted_at = 0;
+    uint64_t frequency = 0;
+  };
+
+  void EvictOne();
+
+  Rng rng_;
+  size_t sample_size_;
+  std::vector<Object> objects_;
+  std::unordered_map<ObjectId, size_t> index_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_HYPERBOLIC_H_

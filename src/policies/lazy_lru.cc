@@ -1,0 +1,82 @@
+#include "src/policies/lazy_lru.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdlp {
+
+BatchedPromotionLru::BatchedPromotionLru(size_t capacity, size_t batch_size)
+    : EvictionPolicy(capacity, "lru-batched"), batch_size_(batch_size) {
+  QDLP_CHECK(batch_size >= 1);
+  pending_.reserve(batch_size);
+  index_.reserve(capacity);
+}
+
+void BatchedPromotionLru::FlushBatch() {
+  // Apply promotions in hit order; later hits end up closer to the head,
+  // matching what eager promotion would have produced for the batch tail.
+  for (const ObjectId id : pending_) {
+    const auto it = index_.find(id);
+    if (it != index_.end()) {  // may have been evicted while pending
+      mru_list_.splice(mru_list_.begin(), mru_list_, it->second);
+    }
+  }
+  pending_.clear();
+}
+
+bool BatchedPromotionLru::OnAccess(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    pending_.push_back(id);
+    if (pending_.size() >= batch_size_) {
+      FlushBatch();
+    }
+    return true;
+  }
+  if (index_.size() == capacity()) {
+    const ObjectId victim = mru_list_.back();
+    mru_list_.pop_back();
+    index_.erase(victim);
+    NotifyEvict(victim);
+  }
+  mru_list_.push_front(id);
+  index_[id] = mru_list_.begin();
+  NotifyInsert(id);
+  return false;
+}
+
+PromoteOldOnlyLru::PromoteOldOnlyLru(size_t capacity, double threshold)
+    : EvictionPolicy(capacity, "lru-promote-old") {
+  QDLP_CHECK(threshold >= 0.0 && threshold <= 1.0);
+  min_age_ = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::llround(static_cast<double>(capacity) *
+                                            threshold)));
+  index_.reserve(capacity);
+}
+
+bool PromoteOldOnlyLru::OnAccess(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    Entry& entry = it->second;
+    if (now() - entry.promoted_at >= min_age_) {
+      mru_list_.splice(mru_list_.begin(), mru_list_, entry.position);
+      entry.promoted_at = now();
+      ++promotions_;
+    } else {
+      ++skipped_;  // still fresh: skip the pointer updates entirely
+    }
+    return true;
+  }
+  if (index_.size() == capacity()) {
+    const ObjectId victim = mru_list_.back();
+    mru_list_.pop_back();
+    index_.erase(victim);
+    NotifyEvict(victim);
+  }
+  mru_list_.push_front(id);
+  index_[id] = Entry{mru_list_.begin(), now()};
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,107 @@
+#include "src/policies/lecar.h"
+
+#include <cmath>
+
+namespace qdlp {
+
+LecarPolicy::LecarPolicy(size_t capacity, uint64_t seed, double learning_rate)
+    : EvictionPolicy(capacity, "lecar"),
+      learning_rate_(learning_rate),
+      rng_(seed) {
+  discount_ = std::pow(0.005, 1.0 / static_cast<double>(capacity));
+  entries_.reserve(capacity);
+}
+
+void LecarPolicy::History::Push(ObjectId id, uint64_t time, size_t max_size) {
+  fifo.emplace_back(id, time);
+  index[id] = time;
+  while (index.size() > max_size && !fifo.empty()) {
+    const auto [oldest_id, oldest_time] = fifo.front();
+    fifo.pop_front();
+    // Only erase if this fifo record is the live one (not superseded by a
+    // newer eviction of the same id).
+    const auto it = index.find(oldest_id);
+    if (it != index.end() && it->second == oldest_time) {
+      index.erase(it);
+    }
+  }
+}
+
+bool LecarPolicy::History::Erase(ObjectId id) {
+  return index.erase(id) > 0;  // fifo record goes stale; skipped on trim
+}
+
+void LecarPolicy::UpdateWeights(double& wrong, double& other,
+                                uint64_t evicted_at) {
+  // Regret is discounted by the time since the mistaken eviction.
+  const double age = static_cast<double>(now() - evicted_at);
+  const double reward = std::pow(discount_, age);
+  other *= std::exp(learning_rate_ * reward);
+  const double total = wrong + other;
+  wrong /= total;
+  other /= total;
+}
+
+void LecarPolicy::EvictOne() {
+  QDLP_DCHECK(!entries_.empty());
+  const bool use_lru = rng_.NextDouble() < w_lru_;
+  ObjectId victim;
+  if (use_lru) {
+    victim = lru_list_.back();
+  } else {
+    victim = lfu_order_.begin()->second;
+  }
+  const Entry& entry = entries_.at(victim);
+  lru_list_.erase(entry.lru_position);
+  lfu_order_.erase({{entry.frequency, entry.last_access}, victim});
+  entries_.erase(victim);
+  NotifyEvict(victim);
+  if (use_lru) {
+    lru_history_.Push(victim, now(), capacity());
+  } else {
+    lfu_history_.Push(victim, now(), capacity());
+  }
+}
+
+bool LecarPolicy::OnAccess(ObjectId id) {
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    Entry& entry = it->second;
+    lru_list_.splice(lru_list_.begin(), lru_list_, entry.lru_position);
+    lfu_order_.erase({{entry.frequency, entry.last_access}, id});
+    ++entry.frequency;
+    entry.last_access = now();
+    lfu_order_.insert({{entry.frequency, entry.last_access}, id});
+    return true;
+  }
+
+  // Mistake feedback from the ghost histories.
+  const auto lru_hist = lru_history_.index.find(id);
+  if (lru_hist != lru_history_.index.end()) {
+    const uint64_t evicted_at = lru_hist->second;
+    lru_history_.Erase(id);
+    UpdateWeights(w_lru_, w_lfu_, evicted_at);
+  } else {
+    const auto lfu_hist = lfu_history_.index.find(id);
+    if (lfu_hist != lfu_history_.index.end()) {
+      const uint64_t evicted_at = lfu_hist->second;
+      lfu_history_.Erase(id);
+      UpdateWeights(w_lfu_, w_lru_, evicted_at);
+    }
+  }
+
+  if (entries_.size() == capacity()) {
+    EvictOne();
+  }
+  Entry entry;
+  entry.frequency = 1;
+  entry.last_access = now();
+  lru_list_.push_front(id);
+  entry.lru_position = lru_list_.begin();
+  lfu_order_.insert({{entry.frequency, entry.last_access}, id});
+  entries_[id] = entry;
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

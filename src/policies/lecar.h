@@ -1,0 +1,73 @@
+// LeCaR — Learning Cache Replacement (Vietri et al., HotStorage'18).
+//
+// One cache, two expert policies (LRU and LFU) and two ghost histories.
+// Eviction draws an expert according to regret-minimizing weights; the victim
+// is remembered in the expert's history. A miss that hits a history means the
+// corresponding expert made a mistake, so the weights shift toward the other
+// expert, discounted by how long ago the mistake happened.
+//
+// Parameters follow the paper: learning rate 0.45, discount 0.005^(1/N)
+// where N is the cache size; each history holds N entries.
+
+#ifndef QDLP_SRC_POLICIES_LECAR_H_
+#define QDLP_SRC_POLICIES_LECAR_H_
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <set>
+#include <unordered_map>
+
+#include "src/policies/eviction_policy.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+
+class LecarPolicy : public EvictionPolicy {
+ public:
+  explicit LecarPolicy(size_t capacity, uint64_t seed = 7,
+                       double learning_rate = 0.45);
+
+  size_t size() const override { return entries_.size(); }
+  bool Contains(ObjectId id) const override { return entries_.contains(id); }
+
+  double lru_weight() const { return w_lru_; }
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  struct Entry {
+    uint64_t frequency = 0;
+    uint64_t last_access = 0;
+    std::list<ObjectId>::iterator lru_position;
+  };
+  // LFU order: (frequency, last_access) ascending; the minimum is the victim.
+  using LfuKey = std::pair<uint64_t, uint64_t>;
+
+  struct History {
+    std::deque<std::pair<ObjectId, uint64_t>> fifo;  // (id, eviction time)
+    std::unordered_map<ObjectId, uint64_t> index;    // id -> eviction time
+    void Push(ObjectId id, uint64_t time, size_t max_size);
+    bool Erase(ObjectId id);
+  };
+
+  void EvictOne();
+  void UpdateWeights(double& wrong, double& other, uint64_t evicted_at);
+
+  double learning_rate_;
+  double discount_;
+  double w_lru_ = 0.5;
+  double w_lfu_ = 0.5;
+  Rng rng_;
+
+  std::unordered_map<ObjectId, Entry> entries_;
+  std::list<ObjectId> lru_list_;  // front = MRU
+  std::set<std::pair<LfuKey, ObjectId>> lfu_order_;
+  History lru_history_;
+  History lfu_history_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_LECAR_H_

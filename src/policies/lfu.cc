@@ -1,0 +1,51 @@
+#include "src/policies/lfu.h"
+
+namespace qdlp {
+
+LfuPolicy::LfuPolicy(size_t capacity) : EvictionPolicy(capacity, "lfu") {
+  index_.reserve(capacity);
+}
+
+uint64_t LfuPolicy::FrequencyOf(ObjectId id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? 0 : it->second.frequency;
+}
+
+void LfuPolicy::PromoteToNextBucket(ObjectId id, Entry& entry) {
+  const uint64_t old_freq = entry.frequency;
+  auto bucket_it = buckets_.find(old_freq);
+  bucket_it->second.erase(entry.position);
+  if (bucket_it->second.empty()) {
+    buckets_.erase(bucket_it);
+  }
+  Bucket& next = buckets_[old_freq + 1];
+  next.push_front(id);
+  entry.frequency = old_freq + 1;
+  entry.position = next.begin();
+}
+
+bool LfuPolicy::OnAccess(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    PromoteToNextBucket(id, it->second);
+    return true;
+  }
+  if (index_.size() == capacity()) {
+    auto lowest = buckets_.begin();
+    Bucket& bucket = lowest->second;
+    const ObjectId victim = bucket.back();
+    bucket.pop_back();
+    if (bucket.empty()) {
+      buckets_.erase(lowest);
+    }
+    index_.erase(victim);
+    NotifyEvict(victim);
+  }
+  Bucket& first = buckets_[1];
+  first.push_front(id);
+  index_[id] = Entry{1, first.begin()};
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,46 @@
+// Exact LFU with LRU tie-breaking, O(1) per operation (frequency buckets).
+// Baseline and the "frequency expert" inside LeCaR/CACHEUS.
+
+#ifndef QDLP_SRC_POLICIES_LFU_H_
+#define QDLP_SRC_POLICIES_LFU_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "src/policies/eviction_policy.h"
+
+namespace qdlp {
+
+class LfuPolicy : public EvictionPolicy {
+ public:
+  explicit LfuPolicy(size_t capacity);
+
+  size_t size() const override { return index_.size(); }
+  bool Contains(ObjectId id) const override { return index_.contains(id); }
+
+  // Frequency of a resident object; 0 if not resident. Exposed for tests.
+  uint64_t FrequencyOf(ObjectId id) const;
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  // Bucket per frequency; within a bucket, front = most recently used, so the
+  // victim is the back of the lowest-frequency bucket.
+  using Bucket = std::list<ObjectId>;
+  struct Entry {
+    uint64_t frequency;
+    Bucket::iterator position;
+  };
+
+  void PromoteToNextBucket(ObjectId id, Entry& entry);
+
+  std::map<uint64_t, Bucket> buckets_;  // ordered by frequency
+  std::unordered_map<ObjectId, Entry> index_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_LFU_H_

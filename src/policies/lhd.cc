@@ -1,0 +1,101 @@
+#include "src/policies/lhd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdlp {
+
+LhdPolicy::LhdPolicy(size_t capacity, uint64_t seed)
+    : EvictionPolicy(capacity, "lhd"), rng_(seed) {
+  // Coarsen ages so that ~8 cache-fills of time span the histogram.
+  const double target_span = 8.0 * static_cast<double>(capacity);
+  age_shift_ = 0;
+  while ((target_span / static_cast<double>(1ULL << age_shift_)) >
+         static_cast<double>(kNumAgeBuckets)) {
+    ++age_shift_;
+  }
+  reconfigure_interval_ = std::max<uint64_t>(1000, capacity);
+  index_.reserve(capacity);
+  objects_.reserve(capacity);
+}
+
+size_t LhdPolicy::AgeBucket(uint64_t last_access) const {
+  const uint64_t age = (now() - last_access) >> age_shift_;
+  return std::min<uint64_t>(age, kNumAgeBuckets - 1);
+}
+
+size_t LhdPolicy::ClassOf(uint32_t refs) {
+  return std::min<size_t>(refs, kNumClasses - 1);
+}
+
+void LhdPolicy::Reconfigure() {
+  for (ClassStats& cls : classes_) {
+    // Hit density at age a: expected hits after reaching age a divided by
+    // the expected remaining space-time after age a.
+    double hits_above = 0.0;
+    double events_above = 0.0;
+    double lifetime_above = 0.0;
+    for (size_t a = kNumAgeBuckets; a-- > 0;) {
+      hits_above += cls.hits[a];
+      events_above += cls.hits[a] + cls.evictions[a];
+      lifetime_above += events_above;  // integral of survival over age
+      cls.density[a] =
+          lifetime_above > 0.0 ? hits_above / lifetime_above : 1e-3;
+    }
+    for (size_t a = 0; a < kNumAgeBuckets; ++a) {
+      cls.hits[a] *= kEwmaDecay;
+      cls.evictions[a] *= kEwmaDecay;
+    }
+  }
+}
+
+void LhdPolicy::EvictOne() {
+  QDLP_DCHECK(!objects_.empty());
+  size_t victim_pos = 0;
+  double victim_density = 0.0;
+  bool have_victim = false;
+  const size_t samples = std::min(kSampleSize, objects_.size());
+  for (size_t i = 0; i < samples; ++i) {
+    const size_t pos = rng_.NextBounded(objects_.size());
+    const Object& object = objects_[pos];
+    const double density =
+        classes_[ClassOf(object.refs)].density[AgeBucket(object.last_access)];
+    if (!have_victim || density < victim_density) {
+      have_victim = true;
+      victim_density = density;
+      victim_pos = pos;
+    }
+  }
+  Object& victim = objects_[victim_pos];
+  classes_[ClassOf(victim.refs)].evictions[AgeBucket(victim.last_access)] += 1.0;
+  const ObjectId victim_id = victim.id;
+  objects_[victim_pos] = objects_.back();
+  index_[objects_[victim_pos].id] = victim_pos;
+  objects_.pop_back();
+  index_.erase(victim_id);
+  NotifyEvict(victim_id);
+}
+
+bool LhdPolicy::OnAccess(ObjectId id) {
+  if (++accesses_since_reconfigure_ >= reconfigure_interval_) {
+    accesses_since_reconfigure_ = 0;
+    Reconfigure();
+  }
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    Object& object = objects_[it->second];
+    classes_[ClassOf(object.refs)].hits[AgeBucket(object.last_access)] += 1.0;
+    object.last_access = now();
+    ++object.refs;
+    return true;
+  }
+  if (objects_.size() == capacity()) {
+    EvictOne();
+  }
+  index_[id] = objects_.size();
+  objects_.push_back(Object{id, now(), 0});
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,38 @@
+#include "src/policies/lru.h"
+
+namespace qdlp {
+
+LruPolicy::LruPolicy(size_t capacity) : EvictionPolicy(capacity, "lru") {
+  index_.reserve(capacity);
+}
+
+bool LruPolicy::Remove(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    return false;
+  }
+  mru_list_.erase(it->second);
+  index_.erase(it);
+  NotifyEvict(id);
+  return true;
+}
+
+bool LruPolicy::OnAccess(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    mru_list_.splice(mru_list_.begin(), mru_list_, it->second);
+    return true;
+  }
+  if (index_.size() == capacity()) {
+    const ObjectId victim = mru_list_.back();
+    mru_list_.pop_back();
+    index_.erase(victim);
+    NotifyEvict(victim);
+  }
+  mru_list_.push_front(id);
+  index_[id] = mru_list_.begin();
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

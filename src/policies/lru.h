@@ -1,0 +1,35 @@
+// LRU eviction: promote to head on every hit (eager promotion), evict the
+// tail. The incumbent the paper argues against; also the building block of
+// ARC/SLRU/2Q segments.
+
+#ifndef QDLP_SRC_POLICIES_LRU_H_
+#define QDLP_SRC_POLICIES_LRU_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "src/policies/eviction_policy.h"
+
+namespace qdlp {
+
+class LruPolicy : public EvictionPolicy {
+ public:
+  explicit LruPolicy(size_t capacity);
+
+  size_t size() const override { return index_.size(); }
+  bool Contains(ObjectId id) const override { return index_.contains(id); }
+
+  bool Remove(ObjectId id) override;
+  bool SupportsRemoval() const override { return true; }
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  std::list<ObjectId> mru_list_;  // front = most recent
+  std::unordered_map<ObjectId, std::list<ObjectId>::iterator> index_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_LRU_H_

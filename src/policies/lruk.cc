@@ -1,0 +1,82 @@
+#include "src/policies/lruk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdlp {
+
+LruKPolicy::LruKPolicy(size_t capacity, int k, double history_factor)
+    : EvictionPolicy(capacity, "lru" + std::to_string(k)), k_(k) {
+  QDLP_CHECK(k >= 1 && k <= 16);
+  history_capacity_ = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(static_cast<double>(capacity) *
+                                          history_factor)));
+  resident_.reserve(capacity);
+}
+
+LruKPolicy::Priority LruKPolicy::PriorityOf(const History& history) const {
+  const uint64_t last =
+      history.count == 0
+          ? 0
+          : history.times[(history.next + history.times.size() - 1) %
+                          history.times.size()];
+  if (history.count < static_cast<size_t>(k_)) {
+    return {0, last};  // infinite backward K-distance class
+  }
+  // Oldest retained slot is the k-th most recent access.
+  const uint64_t kth = history.times[history.next];
+  return {kth, last};
+}
+
+void LruKPolicy::Touch(History& history) {
+  if (history.times.empty()) {
+    history.times.assign(static_cast<size_t>(k_), 0);
+  }
+  history.times[history.next] = now();
+  history.next = (history.next + 1) % history.times.size();
+  history.count = std::min(history.count + 1, static_cast<size_t>(k_));
+}
+
+void LruKPolicy::TrimRetained() {
+  while (retained_.size() > history_capacity_ && !retained_fifo_.empty()) {
+    const ObjectId oldest = retained_fifo_.front();
+    retained_fifo_.pop_front();
+    retained_.erase(oldest);  // may be stale (revived) — then a no-op
+  }
+}
+
+bool LruKPolicy::OnAccess(ObjectId id) {
+  const auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    order_.erase({PriorityOf(it->second), id});
+    Touch(it->second);
+    order_.insert({PriorityOf(it->second), id});
+    return true;
+  }
+  if (resident_.size() == capacity()) {
+    const auto victim_it = order_.begin();
+    const ObjectId victim = victim_it->second;
+    order_.erase(victim_it);
+    auto resident_it = resident_.find(victim);
+    // Retain the victim's reference history.
+    retained_[victim] = std::move(resident_it->second);
+    retained_fifo_.push_back(victim);
+    resident_.erase(resident_it);
+    TrimRetained();
+    NotifyEvict(victim);
+  }
+  History history;
+  const auto retained_it = retained_.find(id);
+  if (retained_it != retained_.end()) {
+    history = std::move(retained_it->second);
+    retained_.erase(retained_it);
+  }
+  Touch(history);
+  auto [slot, inserted] = resident_.emplace(id, std::move(history));
+  QDLP_DCHECK(inserted);
+  order_.insert({PriorityOf(slot->second), id});
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

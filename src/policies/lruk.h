@@ -1,0 +1,63 @@
+// LRU-K (O'Neil, O'Neil & Weikum, SIGMOD'93), default K = 2.
+//
+// Evicts the object with the oldest K-th most recent reference (maximum
+// "backward K-distance"); objects with fewer than K references are treated
+// as infinitely distant and evicted first, LRU-ordered among themselves.
+// Reference history is retained for recently evicted objects (the paper's
+// Retained Information Period), so an object's second access after a quick
+// eviction still counts — an early frequency-over-recency design.
+
+#ifndef QDLP_SRC_POLICIES_LRUK_H_
+#define QDLP_SRC_POLICIES_LRUK_H_
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/policies/eviction_policy.h"
+
+namespace qdlp {
+
+class LruKPolicy : public EvictionPolicy {
+ public:
+  // history_factor: retained-history entries as a multiple of capacity.
+  LruKPolicy(size_t capacity, int k = 2, double history_factor = 1.0);
+
+  size_t size() const override { return resident_.size(); }
+  bool Contains(ObjectId id) const override { return resident_.contains(id); }
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  // Eviction key: (kth-most-recent access time, most recent access time).
+  // Objects with < k references use kth time 0, so they order before any
+  // fully-seen object and break ties by plain recency.
+  using Priority = std::pair<uint64_t, uint64_t>;
+
+  struct History {
+    std::vector<uint64_t> times;  // ring of last <= k access times
+    size_t next = 0;
+    size_t count = 0;
+  };
+
+  Priority PriorityOf(const History& history) const;
+  void Touch(History& history);
+  void TrimRetained();
+
+  int k_;
+  size_t history_capacity_;
+
+  std::unordered_map<ObjectId, History> resident_;
+  std::set<std::pair<Priority, ObjectId>> order_;  // min = victim
+
+  // Retained (non-resident) history, FIFO-bounded.
+  std::unordered_map<ObjectId, History> retained_;
+  std::deque<ObjectId> retained_fifo_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_LRUK_H_

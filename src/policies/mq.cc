@@ -1,0 +1,121 @@
+#include "src/policies/mq.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdlp {
+
+MqPolicy::MqPolicy(size_t capacity, int num_queues, uint64_t lifetime,
+                   double ghost_factor)
+    : EvictionPolicy(capacity, "mq"),
+      num_queues_(num_queues),
+      lifetime_(lifetime == 0 ? 2 * capacity : lifetime),
+      ghost_capacity_(std::max<size_t>(
+          1, static_cast<size_t>(std::llround(static_cast<double>(capacity) *
+                                              ghost_factor)))) {
+  QDLP_CHECK(num_queues >= 1 && num_queues <= 32);
+  queues_.resize(static_cast<size_t>(num_queues));
+  index_.reserve(capacity);
+}
+
+bool MqPolicy::Contains(ObjectId id) const { return index_.contains(id); }
+
+int MqPolicy::LevelForFrequency(uint64_t frequency, int num_queues) {
+  // Queue k holds frequencies in [2^k, 2^(k+1)).
+  int level = 0;
+  while (frequency >= (2ULL << level) && level < num_queues - 1) {
+    ++level;
+  }
+  return level;
+}
+
+void MqPolicy::PlaceInQueue(ObjectId id, Entry& entry) {
+  const int level = LevelForFrequency(entry.frequency, num_queues_);
+  entry.level = level;
+  entry.expire_at = now() + lifetime_;
+  auto& queue = queues_[static_cast<size_t>(level)];
+  queue.push_back(id);  // back = MRU end
+  entry.position = std::prev(queue.end());
+}
+
+void MqPolicy::AdjustExpired() {
+  // Check the LRU head of every non-empty queue above level 0; demote at
+  // most one block per access (the ATC'01 amortization).
+  for (int level = num_queues_ - 1; level >= 1; --level) {
+    auto& queue = queues_[static_cast<size_t>(level)];
+    if (queue.empty()) {
+      continue;
+    }
+    const ObjectId head = queue.front();
+    Entry& entry = index_.at(head);
+    if (entry.expire_at < now()) {
+      queue.pop_front();
+      entry.level = level - 1;
+      entry.expire_at = now() + lifetime_;
+      auto& lower = queues_[static_cast<size_t>(level - 1)];
+      lower.push_back(head);
+      entry.position = std::prev(lower.end());
+      return;
+    }
+  }
+}
+
+void MqPolicy::GhostInsert(ObjectId id, uint64_t frequency) {
+  ghost_fifo_.push_back(id);
+  ghost_index_[id] = frequency;
+  while (ghost_index_.size() > ghost_capacity_ && !ghost_fifo_.empty()) {
+    const ObjectId oldest = ghost_fifo_.front();
+    ghost_fifo_.pop_front();
+    ghost_index_.erase(oldest);
+  }
+}
+
+void MqPolicy::EvictOne() {
+  for (auto& queue : queues_) {  // lowest level first
+    if (queue.empty()) {
+      continue;
+    }
+    const ObjectId victim = queue.front();
+    queue.pop_front();
+    const auto it = index_.find(victim);
+    QDLP_DCHECK(it != index_.end());
+    GhostInsert(victim, it->second.frequency);
+    index_.erase(it);
+    --resident_count_;
+    NotifyEvict(victim);
+    return;
+  }
+  QDLP_CHECK(false);  // eviction requested from an empty cache
+}
+
+bool MqPolicy::OnAccess(ObjectId id) {
+  AdjustExpired();
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    Entry& entry = it->second;
+    queues_[static_cast<size_t>(entry.level)].erase(entry.position);
+    ++entry.frequency;
+    PlaceInQueue(id, entry);
+    return true;
+  }
+  if (resident_count_ == capacity()) {
+    EvictOne();
+  }
+  Entry entry;
+  const auto ghost_it = ghost_index_.find(id);
+  if (ghost_it != ghost_index_.end()) {
+    // Remembered frequency: the block rejoins at its old level + this access.
+    entry.frequency = ghost_it->second + 1;
+    ghost_index_.erase(ghost_it);
+  } else {
+    entry.frequency = 1;
+  }
+  auto [slot, inserted] = index_.emplace(id, entry);
+  QDLP_DCHECK(inserted);
+  PlaceInQueue(id, slot->second);
+  ++resident_count_;
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

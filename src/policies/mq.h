@@ -1,0 +1,70 @@
+// MQ — Multi-Queue replacement (Zhou, Philbin & Li, ATC'01).
+//
+// Designed for second-level buffer caches: m LRU queues where queue k holds
+// objects with frequency in [2^k, 2^(k+1)), plus a ghost queue Qout
+// remembering evicted objects' frequencies. Blocks expire down a queue level
+// when not referenced for `lifetime` requests, so stale frequent blocks
+// eventually become evictable. Cited by the paper among the multi-queue
+// ancestors of the QD construction.
+
+#ifndef QDLP_SRC_POLICIES_MQ_H_
+#define QDLP_SRC_POLICIES_MQ_H_
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/policies/eviction_policy.h"
+
+namespace qdlp {
+
+class MqPolicy : public EvictionPolicy {
+ public:
+  // num_queues: frequency levels (ATC'01 uses 8). lifetime: requests without
+  // a reference before a block is demoted one level; 0 = 2x capacity.
+  // ghost_factor: Qout entries as a multiple of capacity (paper: 4x).
+  MqPolicy(size_t capacity, int num_queues = 8, uint64_t lifetime = 0,
+           double ghost_factor = 4.0);
+
+  size_t size() const override { return resident_count_; }
+  bool Contains(ObjectId id) const override;
+
+  size_t queue_size(int level) const { return queues_[level].size(); }
+  size_t ghost_size() const { return ghost_index_.size(); }
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  struct Entry {
+    uint64_t frequency = 0;
+    uint64_t expire_at = 0;
+    int level = 0;
+    std::list<ObjectId>::iterator position;
+  };
+
+  static int LevelForFrequency(uint64_t frequency, int num_queues);
+  void PlaceInQueue(ObjectId id, Entry& entry);
+  // Demotes expired queue heads one level (ATC'01's Adjust).
+  void AdjustExpired();
+  void EvictOne();
+  void GhostInsert(ObjectId id, uint64_t frequency);
+
+  int num_queues_;
+  uint64_t lifetime_;
+  size_t ghost_capacity_;
+
+  std::vector<std::list<ObjectId>> queues_;  // per level; front = LRU end
+  std::unordered_map<ObjectId, Entry> index_;  // resident objects
+  size_t resident_count_ = 0;
+
+  // Ghost (Qout): id -> remembered frequency, FIFO-bounded.
+  std::deque<ObjectId> ghost_fifo_;
+  std::unordered_map<ObjectId, uint64_t> ghost_index_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_MQ_H_

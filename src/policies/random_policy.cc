@@ -1,0 +1,30 @@
+#include "src/policies/random_policy.h"
+
+namespace qdlp {
+
+RandomPolicy::RandomPolicy(size_t capacity, uint64_t seed)
+    : EvictionPolicy(capacity, "random"), rng_(seed) {
+  entries_.reserve(capacity);
+  index_.reserve(capacity);
+}
+
+bool RandomPolicy::OnAccess(ObjectId id) {
+  if (index_.contains(id)) {
+    return true;
+  }
+  if (entries_.size() == capacity()) {
+    const size_t victim_pos = rng_.NextBounded(entries_.size());
+    const ObjectId victim = entries_[victim_pos];
+    entries_[victim_pos] = entries_.back();
+    index_[entries_[victim_pos]] = victim_pos;
+    entries_.pop_back();
+    index_.erase(victim);
+    NotifyEvict(victim);
+  }
+  index_[id] = entries_.size();
+  entries_.push_back(id);
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,33 @@
+// Random eviction: evict a uniformly random resident object. Sanity baseline
+// for the benchmark harnesses and for property tests.
+
+#ifndef QDLP_SRC_POLICIES_RANDOM_POLICY_H_
+#define QDLP_SRC_POLICIES_RANDOM_POLICY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/policies/eviction_policy.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+
+class RandomPolicy : public EvictionPolicy {
+ public:
+  explicit RandomPolicy(size_t capacity, uint64_t seed = 42);
+
+  size_t size() const override { return index_.size(); }
+  bool Contains(ObjectId id) const override { return index_.contains(id); }
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  Rng rng_;
+  std::vector<ObjectId> entries_;  // dense, order-free; swap-remove
+  std::unordered_map<ObjectId, size_t> index_;  // id -> position in entries_
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_RANDOM_POLICY_H_

@@ -1,0 +1,71 @@
+#include "src/policies/slru.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdlp {
+
+SlruPolicy::SlruPolicy(size_t capacity, double protected_fraction)
+    : EvictionPolicy(capacity, "slru") {
+  QDLP_CHECK(protected_fraction >= 0.0 && protected_fraction < 1.0);
+  protected_capacity_ = static_cast<size_t>(
+      std::floor(static_cast<double>(capacity) * protected_fraction));
+  protected_capacity_ = std::min(protected_capacity_, capacity - 1);
+  index_.reserve(capacity);
+}
+
+size_t SlruPolicy::protected_size() const { return protected_.size(); }
+size_t SlruPolicy::probation_size() const { return probation_.size(); }
+
+void SlruPolicy::EvictFromProbation() {
+  QDLP_DCHECK(!probation_.empty());
+  const ObjectId victim = probation_.back();
+  probation_.pop_back();
+  index_.erase(victim);
+  NotifyEvict(victim);
+}
+
+bool SlruPolicy::OnAccess(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    Entry& entry = it->second;
+    if (entry.segment == Segment::kProtected) {
+      protected_.splice(protected_.begin(), protected_, entry.position);
+      return true;
+    }
+    // Promote probation -> protected; demote protected overflow back to the
+    // probationary MRU end.
+    probation_.erase(entry.position);
+    protected_.push_front(id);
+    entry.segment = Segment::kProtected;
+    entry.position = protected_.begin();
+    if (protected_.size() > protected_capacity_) {
+      const ObjectId demoted = protected_.back();
+      protected_.pop_back();
+      probation_.push_front(demoted);
+      Entry& demoted_entry = index_.at(demoted);
+      demoted_entry.segment = Segment::kProbation;
+      demoted_entry.position = probation_.begin();
+    }
+    return true;
+  }
+  if (index_.size() == capacity()) {
+    // The probationary segment can only be empty if everything sits in
+    // protected; demote its LRU first in that (degenerate) case.
+    if (probation_.empty()) {
+      const ObjectId demoted = protected_.back();
+      protected_.pop_back();
+      probation_.push_front(demoted);
+      Entry& demoted_entry = index_.at(demoted);
+      demoted_entry.segment = Segment::kProbation;
+      demoted_entry.position = probation_.begin();
+    }
+    EvictFromProbation();
+  }
+  probation_.push_front(id);
+  index_[id] = Entry{Segment::kProbation, probation_.begin()};
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

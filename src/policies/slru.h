@@ -1,0 +1,51 @@
+// Segmented LRU (Karedla, Love & Wherry 1994).
+//
+// Two LRU segments: new objects enter the probationary segment; a hit there
+// promotes to the protected segment; protected overflow demotes back to the
+// probationary MRU end; evictions come from the probationary LRU end. An
+// early form of quick demotion — unpopular objects never reach protected —
+// though demotion is slower than the paper's probationary-FIFO QD.
+
+#ifndef QDLP_SRC_POLICIES_SLRU_H_
+#define QDLP_SRC_POLICIES_SLRU_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "src/policies/eviction_policy.h"
+
+namespace qdlp {
+
+class SlruPolicy : public EvictionPolicy {
+ public:
+  // protected_fraction of the capacity is reserved for the protected
+  // segment (classic deployments use 0.5–0.8).
+  SlruPolicy(size_t capacity, double protected_fraction = 0.8);
+
+  size_t size() const override { return index_.size(); }
+  bool Contains(ObjectId id) const override { return index_.contains(id); }
+
+  size_t protected_size() const;
+  size_t probation_size() const;
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  enum class Segment { kProbation, kProtected };
+  struct Entry {
+    Segment segment;
+    std::list<ObjectId>::iterator position;
+  };
+
+  void EvictFromProbation();
+
+  size_t protected_capacity_;
+  std::list<ObjectId> probation_;  // front = MRU
+  std::list<ObjectId> protected_;  // front = MRU
+  std::unordered_map<ObjectId, Entry> index_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_SLRU_H_

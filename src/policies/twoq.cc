@@ -1,0 +1,81 @@
+#include "src/policies/twoq.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdlp {
+
+TwoQPolicy::TwoQPolicy(size_t capacity, double kin_fraction,
+                       double kout_fraction)
+    : EvictionPolicy(capacity, "2q") {
+  QDLP_CHECK(kin_fraction > 0.0 && kin_fraction < 1.0);
+  QDLP_CHECK(kout_fraction > 0.0);
+  kin_capacity_ = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(static_cast<double>(capacity) *
+                                         kin_fraction)));
+  kin_capacity_ = std::min(kin_capacity_, capacity);
+  kout_capacity_ = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(static_cast<double>(capacity) *
+                                         kout_fraction)));
+}
+
+void TwoQPolicy::PushGhost(ObjectId id) {
+  a1out_.push_back(id);
+  a1out_index_.insert(id);
+  // The deque may hold stale entries for ids promoted out of the ghost; pop
+  // until the *live* ghost population is back within bounds.
+  while (a1out_index_.size() > kout_capacity_ && !a1out_.empty()) {
+    const ObjectId oldest = a1out_.front();
+    a1out_.pop_front();
+    a1out_index_.erase(oldest);
+  }
+}
+
+void TwoQPolicy::Reclaim() {
+  if (a1in_index_.size() > kin_capacity_ ||
+      (am_index_.empty() && !a1in_.empty())) {
+    const ObjectId victim = a1in_.front();
+    a1in_.pop_front();
+    a1in_index_.erase(victim);
+    NotifyEvict(victim);
+    PushGhost(victim);
+    return;
+  }
+  QDLP_DCHECK(!am_.empty());
+  const ObjectId victim = am_.back();
+  am_.pop_back();
+  am_index_.erase(victim);
+  NotifyEvict(victim);
+  // Am evictions are not remembered in A1out (per the paper).
+}
+
+bool TwoQPolicy::OnAccess(ObjectId id) {
+  const auto am_it = am_index_.find(id);
+  if (am_it != am_index_.end()) {
+    am_.splice(am_.begin(), am_, am_it->second);
+    return true;
+  }
+  if (a1in_index_.contains(id)) {
+    // Hit in A1in: leave it in place; 2Q treats quick re-references as
+    // correlated and not evidence of long-term popularity.
+    return true;
+  }
+  if (size() == capacity()) {
+    Reclaim();
+  }
+  if (a1out_index_.contains(id)) {
+    // Second chance proven: admit directly into Am.
+    a1out_index_.erase(id);
+    // Lazily remove from the a1out_ deque: entries are skipped when popped.
+    am_.push_front(id);
+    am_index_[id] = am_.begin();
+    NotifyInsert(id);
+    return false;
+  }
+  a1in_.push_back(id);
+  a1in_index_.insert(id);
+  NotifyInsert(id);
+  return false;
+}
+
+}  // namespace qdlp

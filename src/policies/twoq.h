@@ -1,0 +1,61 @@
+// 2Q (Johnson & Shasha, VLDB'94), the "full version".
+//
+// Three structures: A1in, a FIFO holding recently-admitted resident objects
+// (default 25% of capacity); A1out, a ghost FIFO of ids recently evicted from
+// A1in (default holds ids for 50% of capacity worth of objects); and Am, an
+// LRU holding the established hot objects. A miss that hits A1out is promoted
+// straight into Am; hits inside A1in do not move the object (correlated
+// references are deliberately ignored). A precursor of the paper's
+// probationary-FIFO + ghost QD construction.
+
+#ifndef QDLP_SRC_POLICIES_TWOQ_H_
+#define QDLP_SRC_POLICIES_TWOQ_H_
+
+#include <deque>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/policies/eviction_policy.h"
+
+namespace qdlp {
+
+class TwoQPolicy : public EvictionPolicy {
+ public:
+  TwoQPolicy(size_t capacity, double kin_fraction = 0.25,
+             double kout_fraction = 0.5);
+
+  size_t size() const override { return a1in_index_.size() + am_index_.size(); }
+  bool Contains(ObjectId id) const override {
+    return a1in_index_.contains(id) || am_index_.contains(id);
+  }
+
+  size_t a1in_size() const { return a1in_index_.size(); }
+  size_t a1out_size() const { return a1out_index_.size(); }
+  size_t am_size() const { return am_index_.size(); }
+  bool InGhost(ObjectId id) const { return a1out_index_.contains(id); }
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  // Frees one slot of cache space following the 2Q "reclaimfor" rule.
+  void Reclaim();
+  void PushGhost(ObjectId id);
+
+  size_t kin_capacity_;
+  size_t kout_capacity_;
+
+  std::deque<ObjectId> a1in_;  // front = oldest
+  std::unordered_set<ObjectId> a1in_index_;
+
+  std::deque<ObjectId> a1out_;  // ghost ids, front = oldest
+  std::unordered_set<ObjectId> a1out_index_;
+
+  std::list<ObjectId> am_;  // front = MRU
+  std::unordered_map<ObjectId, std::list<ObjectId>::iterator> am_index_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_TWOQ_H_

@@ -1,0 +1,127 @@
+#include "src/policies/wtinylfu.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdlp {
+
+WTinyLfuPolicy::WTinyLfuPolicy(size_t capacity, double window_fraction,
+                               double protected_fraction)
+    : EvictionPolicy(capacity, "wtinylfu"),
+      sketch_(capacity),
+      doorkeeper_(std::max<size_t>(64, capacity)) {
+  QDLP_CHECK(window_fraction > 0.0 && window_fraction < 1.0);
+  QDLP_CHECK(protected_fraction > 0.0 && protected_fraction < 1.0);
+  window_capacity_ = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(static_cast<double>(capacity) *
+                                          window_fraction)));
+  window_capacity_ = std::min(window_capacity_, capacity - 1);
+  main_capacity_ = capacity - window_capacity_;
+  protected_capacity_ = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(static_cast<double>(main_capacity_) *
+                                          protected_fraction)));
+  protected_capacity_ = std::min(protected_capacity_, main_capacity_ - 1 > 0
+                                                          ? main_capacity_ - 1
+                                                          : 1);
+  index_.reserve(capacity);
+}
+
+void WTinyLfuPolicy::RecordFrequency(ObjectId id) {
+  // Doorkeeper: the first touch in each aging window sets a bit; only
+  // repeat touches reach the sketch.
+  if (!doorkeeper_.MayContain(id)) {
+    doorkeeper_.Insert(id);
+    if (doorkeeper_.inserted() > doorkeeper_.bit_count() / 16) {
+      doorkeeper_.Clear();  // keep the FPR bounded
+    }
+    return;
+  }
+  sketch_.Increment(id);
+}
+
+uint32_t WTinyLfuPolicy::EstimateFrequency(ObjectId id) const {
+  return sketch_.Estimate(id) + (doorkeeper_.MayContain(id) ? 1 : 0);
+}
+
+void WTinyLfuPolicy::InsertProbation(ObjectId id) {
+  probation_.push_front(id);
+  index_[id] = Entry{Segment::kProbation, probation_.begin()};
+}
+
+void WTinyLfuPolicy::PromoteToProtected(ObjectId id, Entry& entry) {
+  probation_.erase(entry.position);
+  protected_.push_front(id);
+  entry.segment = Segment::kProtected;
+  entry.position = protected_.begin();
+  if (protected_.size() > protected_capacity_) {
+    const ObjectId demoted = protected_.back();
+    protected_.pop_back();
+    probation_.push_front(demoted);
+    Entry& demoted_entry = index_.at(demoted);
+    demoted_entry.segment = Segment::kProbation;
+    demoted_entry.position = probation_.begin();
+  }
+}
+
+void WTinyLfuPolicy::CycleWindowEvictee(ObjectId id) {
+  // Admission duel: candidate (window evictee) vs the main probation victim.
+  if (probation_.size() + protected_.size() < main_capacity_) {
+    ++admissions_;
+    InsertProbation(id);
+    return;
+  }
+  QDLP_DCHECK(!probation_.empty() || !protected_.empty());
+  if (probation_.empty()) {
+    // Degenerate: everything is protected; demote its LRU into probation.
+    const ObjectId demoted = protected_.back();
+    protected_.pop_back();
+    probation_.push_front(demoted);
+    Entry& demoted_entry = index_.at(demoted);
+    demoted_entry.segment = Segment::kProbation;
+    demoted_entry.position = probation_.begin();
+  }
+  const ObjectId victim = probation_.back();
+  if (EstimateFrequency(id) > EstimateFrequency(victim)) {
+    ++admissions_;
+    probation_.pop_back();
+    index_.erase(victim);
+    NotifyEvict(victim);
+    InsertProbation(id);
+  } else {
+    ++rejections_;
+    NotifyEvict(id);  // the candidate itself is dropped
+  }
+}
+
+bool WTinyLfuPolicy::OnAccess(ObjectId id) {
+  RecordFrequency(id);
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    Entry& entry = it->second;
+    switch (entry.segment) {
+      case Segment::kWindow:
+        window_.splice(window_.begin(), window_, entry.position);
+        break;
+      case Segment::kProbation:
+        PromoteToProtected(id, entry);
+        break;
+      case Segment::kProtected:
+        protected_.splice(protected_.begin(), protected_, entry.position);
+        break;
+    }
+    return true;
+  }
+  // Miss: enter the window.
+  window_.push_front(id);
+  index_[id] = Entry{Segment::kWindow, window_.begin()};
+  NotifyInsert(id);
+  if (window_.size() > window_capacity_) {
+    const ObjectId evictee = window_.back();
+    window_.pop_back();
+    index_.erase(evictee);
+    CycleWindowEvictee(evictee);
+  }
+  return false;
+}
+
+}  // namespace qdlp

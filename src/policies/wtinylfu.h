@@ -1,0 +1,72 @@
+// W-TinyLFU (Einziger, Friedman & Manes, ACM TOS'17) — frequency-sketch
+// admission in front of a segmented main cache.
+//
+// Structure: a small LRU window (default 1% of capacity) absorbs new
+// objects; the main SLRU (99%, 80% protected) only admits a window evictee
+// if the TinyLFU sketch estimates its frequency above the main cache's
+// probation victim ("candidate vs victim duel"). A doorkeeper Bloom filter
+// absorbs first touches before they reach the sketch.
+//
+// §5 of the HotOS paper classifies admission policies like TinyLFU as a form
+// of Quick Demotion ("albeit some of them are too aggressive at demotion");
+// this implementation lets the benches test that classification.
+
+#ifndef QDLP_SRC_POLICIES_WTINYLFU_H_
+#define QDLP_SRC_POLICIES_WTINYLFU_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "src/policies/eviction_policy.h"
+#include "src/util/bloom_filter.h"
+#include "src/util/count_min_sketch.h"
+
+namespace qdlp {
+
+class WTinyLfuPolicy : public EvictionPolicy {
+ public:
+  WTinyLfuPolicy(size_t capacity, double window_fraction = 0.01,
+                 double protected_fraction = 0.8);
+
+  size_t size() const override { return index_.size(); }
+  bool Contains(ObjectId id) const override { return index_.contains(id); }
+
+  size_t window_size() const { return window_.size(); }
+  uint64_t admissions() const { return admissions_; }
+  uint64_t rejections() const { return rejections_; }
+
+ protected:
+  bool OnAccess(ObjectId id) override;
+
+ private:
+  enum class Segment { kWindow, kProbation, kProtected };
+  struct Entry {
+    Segment segment;
+    std::list<ObjectId>::iterator position;
+  };
+
+  void RecordFrequency(ObjectId id);
+  uint32_t EstimateFrequency(ObjectId id) const;
+  // Moves a window evictee through the admission duel.
+  void CycleWindowEvictee(ObjectId id);
+  void InsertProbation(ObjectId id);
+  void PromoteToProtected(ObjectId id, Entry& entry);
+
+  size_t window_capacity_;
+  size_t protected_capacity_;
+  size_t main_capacity_;
+
+  std::list<ObjectId> window_;     // front = MRU
+  std::list<ObjectId> probation_;  // front = MRU
+  std::list<ObjectId> protected_;  // front = MRU
+  std::unordered_map<ObjectId, Entry> index_;
+
+  CountMinSketch sketch_;
+  BloomFilter doorkeeper_;
+  uint64_t admissions_ = 0;
+  uint64_t rejections_ = 0;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_POLICIES_WTINYLFU_H_

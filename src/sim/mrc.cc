@@ -1,0 +1,27 @@
+#include "src/sim/mrc.h"
+
+#include "src/sim/simulator.h"
+
+namespace qdlp {
+
+std::vector<MrcPoint> ComputeMrc(const std::string& policy_name,
+                                 const Trace& trace,
+                                 const std::vector<double>& fractions) {
+  std::vector<MrcPoint> curve;
+  curve.reserve(fractions.size());
+  for (const double fraction : fractions) {
+    MrcPoint point;
+    point.size_fraction = fraction;
+    point.cache_size = CacheSizeForFraction(trace, fraction);
+    point.miss_ratio =
+        SimulatePolicy(policy_name, trace, point.cache_size).miss_ratio();
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+std::vector<double> DefaultMrcFractions() {
+  return {0.001, 0.003, 0.01, 0.03, 0.10, 0.30};
+}
+
+}  // namespace qdlp

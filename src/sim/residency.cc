@@ -1,0 +1,89 @@
+#include "src/sim/residency.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/policy_factory.h"
+#include "src/sim/simulator.h"
+#include "src/util/check.h"
+
+namespace qdlp {
+
+void ResidencyAccountant::OnInsert(ObjectId id, uint64_t time) {
+  // A second insert without an evict would indicate a policy bug; keep the
+  // earliest open time in release builds.
+  open_.emplace(id, time);
+}
+
+void ResidencyAccountant::OnEvict(ObjectId id, uint64_t time) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) {
+    return;  // eviction without insert: composed policies may skip notify
+  }
+  const uint64_t duration = time >= it->second ? time - it->second : 0;
+  residency_[id] += duration;
+  total_ += static_cast<double>(duration);
+  open_.erase(it);
+}
+
+void ResidencyAccountant::FinalizeAt(uint64_t end_time) {
+  for (const auto& [id, start] : open_) {
+    const uint64_t duration = end_time >= start ? end_time - start : 0;
+    residency_[id] += duration;
+    total_ += static_cast<double>(duration);
+  }
+  open_.clear();
+}
+
+uint64_t ResidencyAccountant::ResidencyOf(ObjectId id) const {
+  const auto it = residency_.find(id);
+  return it == residency_.end() ? 0 : it->second;
+}
+
+std::array<double, kNumDeciles> ResourceByPopularityDecile(
+    const Trace& trace, const ResidencyAccountant& accountant) {
+  // Rank objects by request count, descending.
+  std::unordered_map<ObjectId, uint64_t> freq;
+  freq.reserve(trace.requests.size() / 2);
+  for (const ObjectId id : trace.requests) {
+    ++freq[id];
+  }
+  std::vector<std::pair<uint64_t, ObjectId>> ranked;
+  ranked.reserve(freq.size());
+  for (const auto& [id, count] : freq) {
+    ranked.emplace_back(count, id);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a > b; });
+
+  std::array<double, kNumDeciles> shares{};
+  if (ranked.empty() || accountant.TotalResidency() <= 0.0) {
+    return shares;
+  }
+  const size_t n = ranked.size();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t decile = std::min(kNumDeciles - 1, i * kNumDeciles / n);
+    shares[decile] +=
+        static_cast<double>(accountant.ResidencyOf(ranked[i].second));
+  }
+  for (double& share : shares) {
+    share /= accountant.TotalResidency();
+  }
+  return shares;
+}
+
+ResidencyReport RunResidencyExperiment(const std::string& policy_name,
+                                       const Trace& trace, size_t cache_size) {
+  auto policy = MakePolicy(policy_name, cache_size, &trace.requests);
+  QDLP_CHECK_MSG(policy != nullptr, policy_name.c_str());
+  ResidencyAccountant accountant;
+  policy->set_eviction_listener(&accountant);
+  const SimResult result = ReplayTrace(*policy, trace);
+  accountant.FinalizeAt(policy->now());
+  ResidencyReport report;
+  report.decile_share = ResourceByPopularityDecile(trace, accountant);
+  report.miss_ratio = result.miss_ratio();
+  return report;
+}
+
+}  // namespace qdlp

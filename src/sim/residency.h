@@ -1,0 +1,63 @@
+// Per-object cache resource accounting (Fig. 3).
+//
+// The paper measures how much cache resource each algorithm spends on
+// objects of different popularity: R_obj = Σ residencies (t_evicted -
+// t_inserted) / cache_size. Efficient algorithms spend little on unpopular
+// objects. ResidencyAccountant listens to insert/evict events during replay;
+// ResourceByPopularityDecile then groups objects into popularity deciles
+// (decile 0 = most requested) and reports each decile's share of the total
+// spent space-time.
+
+#ifndef QDLP_SRC_SIM_RESIDENCY_H_
+#define QDLP_SRC_SIM_RESIDENCY_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/policies/eviction_policy.h"
+#include "src/trace/trace.h"
+
+namespace qdlp {
+
+class ResidencyAccountant : public EvictionListener {
+ public:
+  void OnInsert(ObjectId id, uint64_t time) override;
+  void OnEvict(ObjectId id, uint64_t time) override;
+
+  // Closes every still-open residency at `end_time` (end of trace).
+  void FinalizeAt(uint64_t end_time);
+
+  // Total space-time (in request ticks) object `id` occupied.
+  uint64_t ResidencyOf(ObjectId id) const;
+  double TotalResidency() const { return total_; }
+  const std::unordered_map<ObjectId, uint64_t>& residency() const {
+    return residency_;
+  }
+
+ private:
+  std::unordered_map<ObjectId, uint64_t> open_;      // id -> insert time
+  std::unordered_map<ObjectId, uint64_t> residency_; // id -> accumulated time
+  double total_ = 0.0;
+};
+
+constexpr size_t kNumDeciles = 10;
+
+// Shares sum to 1 (unless nothing was ever cached). Deciles partition the
+// trace's distinct objects by descending request count; decile 0 holds the
+// most popular 10% of objects.
+std::array<double, kNumDeciles> ResourceByPopularityDecile(
+    const Trace& trace, const ResidencyAccountant& accountant);
+
+// Convenience: replays `policy_name` over `trace` at `cache_size` with
+// accounting attached and returns {decile shares, miss ratio}.
+struct ResidencyReport {
+  std::array<double, kNumDeciles> decile_share{};
+  double miss_ratio = 0.0;
+};
+ResidencyReport RunResidencyExperiment(const std::string& policy_name,
+                                       const Trace& trace, size_t cache_size);
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_SIM_RESIDENCY_H_

@@ -1,0 +1,45 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/policy_factory.h"
+#include "src/util/check.h"
+
+namespace qdlp {
+
+SimResult ReplayTrace(EvictionPolicy& policy, const Trace& trace) {
+  SimResult result;
+  result.policy = policy.name();
+  result.trace = trace.name;
+  result.cache_size = policy.capacity();
+  result.requests = trace.requests.size();
+  uint64_t hits = 0;
+  for (const ObjectId id : trace.requests) {
+    hits += policy.Access(id) ? 1 : 0;
+  }
+  result.hits = hits;
+  return result;
+}
+
+SimResult SimulatePolicy(const std::string& policy_name, const Trace& trace,
+                         size_t cache_size) {
+  auto policy = MakePolicy(policy_name, cache_size, &trace.requests);
+  QDLP_CHECK_MSG(policy != nullptr, policy_name.c_str());
+  return ReplayTrace(*policy, trace);
+}
+
+size_t CacheSizeForFraction(const Trace& trace, double fraction) {
+  QDLP_CHECK(fraction > 0.0);
+  const double raw = static_cast<double>(trace.num_objects) * fraction;
+  return std::max<size_t>(10, static_cast<size_t>(std::llround(raw)));
+}
+
+CacheSizes CacheSizesFor(const Trace& trace) {
+  CacheSizes sizes;
+  sizes.small = CacheSizeForFraction(trace, 0.001);
+  sizes.large = CacheSizeForFraction(trace, 0.10);
+  return sizes;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,54 @@
+// Trace-replay simulation: feed a trace through a policy and collect
+// hit/miss statistics. The paper's entire evaluation is this loop, repeated
+// 5307 × policies × 2 cache sizes.
+
+#ifndef QDLP_SRC_SIM_SIMULATOR_H_
+#define QDLP_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/policies/eviction_policy.h"
+#include "src/trace/trace.h"
+
+namespace qdlp {
+
+struct SimResult {
+  std::string policy;
+  std::string trace;
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+  size_t cache_size = 0;
+
+  uint64_t misses() const { return requests - hits; }
+  double miss_ratio() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(misses()) /
+                               static_cast<double>(requests);
+  }
+  double hit_ratio() const { return requests == 0 ? 0.0 : 1.0 - miss_ratio(); }
+};
+
+// Replays `trace` through `policy` (which must be freshly constructed).
+SimResult ReplayTrace(EvictionPolicy& policy, const Trace& trace);
+
+// Convenience: builds `policy_name` via the factory at `cache_size` and
+// replays. Aborts on unknown policy names (programmer error in harnesses).
+SimResult SimulatePolicy(const std::string& policy_name, const Trace& trace,
+                         size_t cache_size);
+
+// The paper's two operating points: small = 0.1% and large = 10% of the
+// trace's unique objects (floors keep tiny traces meaningful).
+struct CacheSizes {
+  size_t small = 0;
+  size_t large = 0;
+};
+CacheSizes CacheSizesFor(const Trace& trace);
+
+// A fractional cache size relative to the trace's unique objects.
+size_t CacheSizeForFraction(const Trace& trace, double fraction);
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_SIM_SIMULATOR_H_

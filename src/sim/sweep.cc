@@ -1,0 +1,128 @@
+#include "src/sim/sweep.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "src/sim/simulator.h"
+#include "src/util/check.h"
+#include "src/util/thread_pool.h"
+
+namespace qdlp {
+
+std::vector<SweepPoint> RunSweep(const std::vector<Trace>& traces,
+                                 const SweepConfig& config) {
+  QDLP_CHECK(!config.policies.empty());
+  QDLP_CHECK(!config.size_fractions.empty());
+
+  const size_t per_trace = config.size_fractions.size() * config.policies.size();
+  std::vector<SweepPoint> points(traces.size() * per_trace);
+
+  ThreadPool pool(config.num_threads);
+  for (size_t t = 0; t < traces.size(); ++t) {
+    // One task per trace: coarse enough to amortize scheduling, fine enough
+    // to keep all cores busy for registry-sized runs.
+    pool.Submit([&, t] {
+      const Trace& trace = traces[t];
+      size_t slot = t * per_trace;
+      for (const double fraction : config.size_fractions) {
+        const size_t cache_size = CacheSizeForFraction(trace, fraction);
+        for (const std::string& policy : config.policies) {
+          const SimResult result = SimulatePolicy(policy, trace, cache_size);
+          SweepPoint& point = points[slot++];
+          point.trace = trace.name;
+          point.dataset = trace.dataset;
+          point.cls = trace.cls;
+          point.size_fraction = fraction;
+          point.cache_size = cache_size;
+          point.policy = policy;
+          point.miss_ratio = result.miss_ratio();
+        }
+      }
+    });
+  }
+  pool.Wait();
+  return points;
+}
+
+namespace {
+
+bool MatchesFilters(const SweepPoint& point, double size_fraction,
+                    const std::string& dataset_filter, int class_filter) {
+  if (std::abs(point.size_fraction - size_fraction) > 1e-12) {
+    return false;
+  }
+  if (!dataset_filter.empty() && point.dataset != dataset_filter) {
+    return false;
+  }
+  if (class_filter >= 0 &&
+      static_cast<int>(point.cls) != class_filter) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double WinFraction(const std::vector<SweepPoint>& points,
+                   const std::string& challenger, const std::string& incumbent,
+                   double size_fraction, const std::string& dataset_filter,
+                   int class_filter) {
+  std::unordered_map<std::string, double> challenger_mr;
+  std::unordered_map<std::string, double> incumbent_mr;
+  for (const SweepPoint& point : points) {
+    if (!MatchesFilters(point, size_fraction, dataset_filter, class_filter)) {
+      continue;
+    }
+    if (point.policy == challenger) {
+      challenger_mr[point.trace] = point.miss_ratio;
+    } else if (point.policy == incumbent) {
+      incumbent_mr[point.trace] = point.miss_ratio;
+    }
+  }
+  double wins = 0.0;
+  size_t total = 0;
+  for (const auto& [trace, challenger_value] : challenger_mr) {
+    const auto it = incumbent_mr.find(trace);
+    if (it == incumbent_mr.end()) {
+      continue;
+    }
+    ++total;
+    if (challenger_value < it->second) {
+      wins += 1.0;
+    } else if (challenger_value == it->second) {
+      wins += 0.5;
+    }
+  }
+  return total == 0 ? 0.0 : wins / static_cast<double>(total);
+}
+
+std::vector<double> ReductionsVsBaseline(const std::vector<SweepPoint>& points,
+                                         const std::string& policy,
+                                         const std::string& baseline,
+                                         double size_fraction,
+                                         int class_filter) {
+  std::unordered_map<std::string, double> policy_mr;
+  std::unordered_map<std::string, double> baseline_mr;
+  for (const SweepPoint& point : points) {
+    if (!MatchesFilters(point, size_fraction, "", class_filter)) {
+      continue;
+    }
+    if (point.policy == policy) {
+      policy_mr[point.trace] = point.miss_ratio;
+    } else if (point.policy == baseline) {
+      baseline_mr[point.trace] = point.miss_ratio;
+    }
+  }
+  std::vector<double> reductions;
+  reductions.reserve(policy_mr.size());
+  for (const auto& [trace, policy_value] : policy_mr) {
+    const auto it = baseline_mr.find(trace);
+    if (it == baseline_mr.end() || it->second <= 0.0) {
+      continue;
+    }
+    reductions.push_back((it->second - policy_value) / it->second);
+  }
+  return reductions;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,61 @@
+// Parallel experiment sweeps: (trace × cache-size fraction × policy) grids
+// replayed across a thread pool. This is the workhorse behind the Fig 2 and
+// Fig 5 harnesses.
+
+#ifndef QDLP_SRC_SIM_SWEEP_H_
+#define QDLP_SRC_SIM_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace qdlp {
+
+struct SweepPoint {
+  std::string trace;      // trace name
+  std::string dataset;    // dataset family
+  WorkloadClass cls = WorkloadClass::kBlock;
+  double size_fraction = 0.0;  // cache size / unique objects
+  size_t cache_size = 0;
+  std::string policy;
+  double miss_ratio = 0.0;
+};
+
+struct SweepConfig {
+  std::vector<std::string> policies;
+  // Cache sizes as fractions of each trace's unique-object count.
+  std::vector<double> size_fractions = {0.001, 0.10};
+  // 0 = hardware concurrency.
+  size_t num_threads = 0;
+};
+
+// Runs the full grid. Results are in deterministic order (trace-major,
+// fraction, policy) regardless of thread scheduling.
+std::vector<SweepPoint> RunSweep(const std::vector<Trace>& traces,
+                                 const SweepConfig& config);
+
+// Helpers for digesting sweep output.
+//
+// Fraction of traces (optionally filtered by dataset/class) where
+// `challenger` achieves a strictly lower miss ratio than `incumbent` at the
+// given size fraction. Ties count as 0.5 per the usual convention of
+// "which algorithm do you prefer" plots.
+double WinFraction(const std::vector<SweepPoint>& points,
+                   const std::string& challenger, const std::string& incumbent,
+                   double size_fraction, const std::string& dataset_filter = "",
+                   int class_filter = -1);
+
+// Miss-ratio reduction of `policy` relative to `baseline` on each matching
+// trace: (mr_baseline - mr_policy) / mr_baseline. Traces where the baseline
+// has a zero miss ratio are skipped.
+std::vector<double> ReductionsVsBaseline(const std::vector<SweepPoint>& points,
+                                         const std::string& policy,
+                                         const std::string& baseline,
+                                         double size_fraction,
+                                         int class_filter = -1);
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_SIM_SWEEP_H_

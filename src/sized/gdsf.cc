@@ -1,0 +1,46 @@
+#include "src/sized/gdsf.h"
+
+namespace qdlp {
+
+GdsfPolicy::GdsfPolicy(uint64_t byte_capacity)
+    : SizedEvictionPolicy(byte_capacity, "gdsf") {}
+
+double GdsfPolicy::PriorityFor(uint64_t frequency, uint64_t size) const {
+  return inflation_ + static_cast<double>(frequency) / static_cast<double>(size);
+}
+
+void GdsfPolicy::EvictOne() {
+  QDLP_DCHECK(!order_.empty());
+  const auto victim_it = order_.begin();
+  const ObjectId victim = victim_it->second;
+  inflation_ = victim_it->first;  // L rises to the evicted priority
+  order_.erase(victim_it);
+  const auto it = index_.find(victim);
+  used_ -= it->second.size;
+  index_.erase(it);
+}
+
+bool GdsfPolicy::OnAccess(ObjectId id, uint64_t size) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    Entry& entry = it->second;
+    order_.erase({entry.priority, id});
+    ++entry.frequency;
+    entry.priority = PriorityFor(entry.frequency, entry.size);
+    order_.insert({entry.priority, id});
+    return true;
+  }
+  while (used_ + size > byte_capacity()) {
+    EvictOne();
+  }
+  Entry entry;
+  entry.size = size;
+  entry.frequency = 1;
+  entry.priority = PriorityFor(1, size);
+  index_[id] = entry;
+  order_.insert({entry.priority, id});
+  used_ += size;
+  return false;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,52 @@
+// GDSF — GreedyDual-Size-Frequency (Cherkasova '98, extending GreedyDual-
+// Size of Cao & Irani, USITS'97 — cited by the paper as cost-aware caching).
+//
+// Priority H(obj) = L + frequency * cost / size with cost = 1 (hit-ratio
+// objective). L is an inflation clock set to the priority of the last
+// evicted object, which gives the algorithm recency-awareness without
+// per-hit list moves. The standard size-aware baseline our size-aware
+// QD-LP-FIFO is measured against.
+
+#ifndef QDLP_SRC_SIZED_GDSF_H_
+#define QDLP_SRC_SIZED_GDSF_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+
+#include "src/sized/sized_policy.h"
+
+namespace qdlp {
+
+class GdsfPolicy : public SizedEvictionPolicy {
+ public:
+  explicit GdsfPolicy(uint64_t byte_capacity);
+
+  uint64_t used_bytes() const override { return used_; }
+  size_t object_count() const override { return index_.size(); }
+  bool Contains(ObjectId id) const override { return index_.contains(id); }
+
+  double inflation() const { return inflation_; }
+
+ protected:
+  bool OnAccess(ObjectId id, uint64_t size) override;
+
+ private:
+  struct Entry {
+    uint64_t size;
+    uint64_t frequency;
+    double priority;
+  };
+
+  double PriorityFor(uint64_t frequency, uint64_t size) const;
+  void EvictOne();
+
+  uint64_t used_ = 0;
+  double inflation_ = 0.0;  // L
+  std::unordered_map<ObjectId, Entry> index_;
+  std::set<std::pair<double, ObjectId>> order_;  // min = victim
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_SIZED_GDSF_H_

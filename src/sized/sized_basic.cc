@@ -1,0 +1,92 @@
+#include "src/sized/sized_basic.h"
+
+namespace qdlp {
+
+SizedFifoPolicy::SizedFifoPolicy(uint64_t byte_capacity)
+    : SizedEvictionPolicy(byte_capacity, "sized-fifo") {}
+
+bool SizedFifoPolicy::OnAccess(ObjectId id, uint64_t size) {
+  if (index_.contains(id)) {
+    return true;
+  }
+  while (used_ + size > byte_capacity()) {
+    QDLP_DCHECK(!queue_.empty());
+    const ObjectId victim = queue_.front();
+    queue_.pop_front();
+    const auto it = index_.find(victim);
+    used_ -= it->second;
+    index_.erase(it);
+  }
+  queue_.push_back(id);
+  index_[id] = size;
+  used_ += size;
+  return false;
+}
+
+SizedLruPolicy::SizedLruPolicy(uint64_t byte_capacity)
+    : SizedEvictionPolicy(byte_capacity, "sized-lru") {}
+
+bool SizedLruPolicy::OnAccess(ObjectId id, uint64_t size) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    mru_list_.splice(mru_list_.begin(), mru_list_, it->second.position);
+    return true;
+  }
+  while (used_ + size > byte_capacity()) {
+    QDLP_DCHECK(!mru_list_.empty());
+    const ObjectId victim = mru_list_.back();
+    mru_list_.pop_back();
+    const auto victim_it = index_.find(victim);
+    used_ -= victim_it->second.size;
+    index_.erase(victim_it);
+  }
+  mru_list_.push_front(id);
+  index_[id] = Entry{size, mru_list_.begin()};
+  used_ += size;
+  return false;
+}
+
+SizedClockPolicy::SizedClockPolicy(uint64_t byte_capacity, int bits)
+    : SizedEvictionPolicy(byte_capacity, bits == 1 ? "sized-fifo-reinsertion"
+                                                   : "sized-clock" +
+                                                         std::to_string(bits)) {
+  QDLP_CHECK(bits >= 1 && bits <= 8);
+  max_counter_ = static_cast<uint8_t>((1u << bits) - 1);
+}
+
+void SizedClockPolicy::EvictOne() {
+  while (true) {
+    QDLP_DCHECK(!queue_.empty());
+    const ObjectId candidate = queue_.front();
+    queue_.pop_front();
+    auto it = index_.find(candidate);
+    QDLP_DCHECK(it != index_.end());
+    if (it->second.counter > 0) {
+      --it->second.counter;
+      queue_.push_back(candidate);  // reinsertion
+      continue;
+    }
+    used_ -= it->second.size;
+    index_.erase(it);
+    return;
+  }
+}
+
+bool SizedClockPolicy::OnAccess(ObjectId id, uint64_t size) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    if (it->second.counter < max_counter_) {
+      ++it->second.counter;
+    }
+    return true;
+  }
+  while (used_ + size > byte_capacity()) {
+    EvictOne();
+  }
+  queue_.push_back(id);
+  index_[id] = Entry{size, 0};
+  used_ += size;
+  return false;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,86 @@
+// Size-aware FIFO, LRU, and k-bit CLOCK (FIFO-Reinsertion).
+//
+// Straightforward byte-budget generalizations: eviction repeats until the
+// incoming object fits. The CLOCK variant is queue-based (pop-head /
+// reinsert-at-tail), which is the natural variable-size formulation of the
+// ring sweep.
+
+#ifndef QDLP_SRC_SIZED_SIZED_BASIC_H_
+#define QDLP_SRC_SIZED_SIZED_BASIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <unordered_map>
+
+#include "src/sized/sized_policy.h"
+
+namespace qdlp {
+
+class SizedFifoPolicy : public SizedEvictionPolicy {
+ public:
+  explicit SizedFifoPolicy(uint64_t byte_capacity);
+
+  uint64_t used_bytes() const override { return used_; }
+  size_t object_count() const override { return index_.size(); }
+  bool Contains(ObjectId id) const override { return index_.contains(id); }
+
+ protected:
+  bool OnAccess(ObjectId id, uint64_t size) override;
+
+ private:
+  uint64_t used_ = 0;
+  std::deque<ObjectId> queue_;  // front = oldest
+  std::unordered_map<ObjectId, uint64_t> index_;  // id -> size
+};
+
+class SizedLruPolicy : public SizedEvictionPolicy {
+ public:
+  explicit SizedLruPolicy(uint64_t byte_capacity);
+
+  uint64_t used_bytes() const override { return used_; }
+  size_t object_count() const override { return index_.size(); }
+  bool Contains(ObjectId id) const override { return index_.contains(id); }
+
+ protected:
+  bool OnAccess(ObjectId id, uint64_t size) override;
+
+ private:
+  struct Entry {
+    uint64_t size;
+    std::list<ObjectId>::iterator position;
+  };
+
+  uint64_t used_ = 0;
+  std::list<ObjectId> mru_list_;  // front = MRU
+  std::unordered_map<ObjectId, Entry> index_;
+};
+
+class SizedClockPolicy : public SizedEvictionPolicy {
+ public:
+  SizedClockPolicy(uint64_t byte_capacity, int bits = 1);
+
+  uint64_t used_bytes() const override { return used_; }
+  size_t object_count() const override { return index_.size(); }
+  bool Contains(ObjectId id) const override { return index_.contains(id); }
+
+ protected:
+  bool OnAccess(ObjectId id, uint64_t size) override;
+
+ private:
+  struct Entry {
+    uint64_t size;
+    uint8_t counter;
+  };
+
+  void EvictOne();
+
+  uint8_t max_counter_;
+  uint64_t used_ = 0;
+  std::deque<ObjectId> queue_;  // front = hand position
+  std::unordered_map<ObjectId, Entry> index_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_SIZED_SIZED_BASIC_H_

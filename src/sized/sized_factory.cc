@@ -1,0 +1,63 @@
+#include "src/sized/sized_factory.h"
+
+#include "src/sized/gdsf.h"
+#include "src/sized/sized_basic.h"
+#include "src/sized/sized_qdlp.h"
+
+namespace qdlp {
+
+std::unique_ptr<SizedEvictionPolicy> MakeSizedPolicy(const std::string& name,
+                                                     uint64_t byte_capacity) {
+  if (name == "sized-fifo") {
+    return std::make_unique<SizedFifoPolicy>(byte_capacity);
+  }
+  if (name == "sized-lru") {
+    return std::make_unique<SizedLruPolicy>(byte_capacity);
+  }
+  if (name == "sized-fifo-reinsertion" || name == "sized-clock1") {
+    return std::make_unique<SizedClockPolicy>(byte_capacity, 1);
+  }
+  if (name == "sized-clock2") {
+    return std::make_unique<SizedClockPolicy>(byte_capacity, 2);
+  }
+  if (name == "gdsf") {
+    return std::make_unique<GdsfPolicy>(byte_capacity);
+  }
+  if (name == "sized-qd-lp-fifo") {
+    return std::make_unique<SizedQdLpFifo>(byte_capacity);
+  }
+  if (name == "sized-qd-lru") {
+    return MakeSizedQd(byte_capacity, 0.10, [](uint64_t main_bytes) {
+      return std::make_unique<SizedLruPolicy>(main_bytes);
+    });
+  }
+  if (name == "sized-qd-gdsf") {
+    return MakeSizedQd(byte_capacity, 0.10, [](uint64_t main_bytes) {
+      return std::make_unique<GdsfPolicy>(main_bytes);
+    });
+  }
+  return nullptr;
+}
+
+std::vector<std::string> KnownSizedPolicyNames() {
+  return {"sized-fifo",       "sized-lru",    "sized-fifo-reinsertion",
+          "sized-clock2",     "gdsf",         "sized-qd-lp-fifo",
+          "sized-qd-lru",     "sized-qd-gdsf"};
+}
+
+SizedSimResult ReplaySizedTrace(SizedEvictionPolicy& policy,
+                                const SizedTrace& trace) {
+  SizedSimResult result;
+  result.policy = policy.name();
+  result.requests = trace.requests.size();
+  for (const SizedRequest& request : trace.requests) {
+    result.requested_bytes += request.size;
+    if (policy.Access(request)) {
+      ++result.hits;
+      result.hit_bytes += request.size;
+    }
+  }
+  return result;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,47 @@
+// Factory and replay for the size-aware policies.
+
+#ifndef QDLP_SRC_SIZED_SIZED_FACTORY_H_
+#define QDLP_SRC_SIZED_SIZED_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sized/sized_policy.h"
+#include "src/sized/sized_trace.h"
+
+namespace qdlp {
+
+// Names: sized-fifo, sized-lru, sized-fifo-reinsertion, sized-clock2, gdsf,
+// sized-qd-lp-fifo. Returns nullptr on unknown names.
+std::unique_ptr<SizedEvictionPolicy> MakeSizedPolicy(const std::string& name,
+                                                     uint64_t byte_capacity);
+
+std::vector<std::string> KnownSizedPolicyNames();
+
+struct SizedSimResult {
+  std::string policy;
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+  uint64_t requested_bytes = 0;
+  uint64_t hit_bytes = 0;
+
+  double object_miss_ratio() const {
+    return requests == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(hits) / static_cast<double>(requests);
+  }
+  double byte_miss_ratio() const {
+    return requested_bytes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(hit_bytes) /
+                           static_cast<double>(requested_bytes);
+  }
+};
+
+SizedSimResult ReplaySizedTrace(SizedEvictionPolicy& policy,
+                                const SizedTrace& trace);
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_SIZED_SIZED_FACTORY_H_

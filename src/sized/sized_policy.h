@@ -1,0 +1,64 @@
+// Byte-capacity eviction-policy interface (size-aware future work, §5
+// Limitations).
+//
+// Mirrors EvictionPolicy but objects carry sizes: capacity and occupancy are
+// in bytes, a miss admits the object after freeing enough space, and objects
+// larger than the whole cache are bypassed (counted as misses, never
+// admitted) — the standard convention for web caches.
+
+#ifndef QDLP_SRC_SIZED_SIZED_POLICY_H_
+#define QDLP_SRC_SIZED_SIZED_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/sized/sized_trace.h"
+#include "src/util/check.h"
+
+namespace qdlp {
+
+class SizedEvictionPolicy {
+ public:
+  SizedEvictionPolicy(uint64_t byte_capacity, std::string name)
+      : byte_capacity_(byte_capacity), name_(std::move(name)) {
+    QDLP_CHECK(byte_capacity >= 1);
+  }
+  virtual ~SizedEvictionPolicy() = default;
+
+  SizedEvictionPolicy(const SizedEvictionPolicy&) = delete;
+  SizedEvictionPolicy& operator=(const SizedEvictionPolicy&) = delete;
+
+  // Returns true on hit. On miss, admits unless size > capacity.
+  bool Access(ObjectId id, uint64_t size) {
+    ++now_;
+    QDLP_DCHECK(size >= 1);
+    if (size > byte_capacity_) {
+      return false;  // bypass: cannot fit even an empty cache
+    }
+    return OnAccess(id, size);
+  }
+  bool Access(const SizedRequest& request) {
+    return Access(request.id, request.size);
+  }
+
+  virtual uint64_t used_bytes() const = 0;
+  virtual size_t object_count() const = 0;
+  virtual bool Contains(ObjectId id) const = 0;
+
+  uint64_t byte_capacity() const { return byte_capacity_; }
+  const std::string& name() const { return name_; }
+  uint64_t now() const { return now_; }
+
+ protected:
+  virtual bool OnAccess(ObjectId id, uint64_t size) = 0;
+
+ private:
+  uint64_t byte_capacity_;
+  std::string name_;
+  uint64_t now_ = 0;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_SIZED_SIZED_POLICY_H_

@@ -1,0 +1,83 @@
+#include "src/sized/sized_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+#include "src/util/zipf.h"
+
+namespace qdlp {
+
+namespace {
+
+constexpr uint64_t kOneHitBase = 1ULL << 44;
+
+// Log-normal sampling via Box-Muller on the uniform generator.
+uint64_t SampleSize(Rng& rng, const SizedWebConfig& config) {
+  double u1 = rng.NextDouble();
+  if (u1 < 1e-18) {
+    u1 = 1e-18;
+  }
+  const double u2 = rng.NextDouble();
+  const double normal =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  const double log_size =
+      config.log_size_mean + config.log_size_sigma * normal;
+  const double size = std::exp(log_size);
+  if (size <= static_cast<double>(config.min_size)) {
+    return config.min_size;
+  }
+  if (size >= static_cast<double>(config.max_size)) {
+    return config.max_size;
+  }
+  return static_cast<uint64_t>(size);
+}
+
+}  // namespace
+
+SizedTrace GenerateSizedWeb(const SizedWebConfig& config) {
+  QDLP_CHECK(config.num_objects >= 1);
+  QDLP_CHECK(config.min_size >= 1 && config.min_size <= config.max_size);
+  SizedTrace trace;
+  trace.requests.reserve(config.num_requests);
+  Rng rng(config.seed);
+  ZipfSampler zipf(config.num_objects, config.skew);
+
+  std::unordered_map<ObjectId, uint64_t> sizes;
+  sizes.reserve(config.num_objects);
+  uint64_t one_hit_counter = kOneHitBase;
+
+  for (uint64_t i = 0; i < config.num_requests; ++i) {
+    ObjectId id;
+    if (rng.NextBool(config.one_hit_wonder_fraction)) {
+      id = one_hit_counter++;
+    } else {
+      id = zipf.Sample(rng);
+    }
+    auto [it, inserted] = sizes.try_emplace(id, 0);
+    if (inserted) {
+      it->second = SampleSize(rng, config);
+      trace.total_object_bytes += it->second;
+    }
+    trace.requests.push_back(SizedRequest{id, it->second});
+  }
+  trace.num_objects = sizes.size();
+  return trace;
+}
+
+SizedTrace FromUniform(const Trace& trace, uint64_t object_size) {
+  QDLP_CHECK(object_size >= 1);
+  SizedTrace sized;
+  sized.name = trace.name;
+  sized.requests.reserve(trace.requests.size());
+  for (const ObjectId id : trace.requests) {
+    sized.requests.push_back(SizedRequest{id, object_size});
+  }
+  sized.num_objects = trace.num_objects;
+  sized.total_object_bytes = trace.num_objects * object_size;
+  return sized;
+}
+
+}  // namespace qdlp

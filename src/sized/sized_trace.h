@@ -1,0 +1,57 @@
+// Variable-object-size trace model — the paper's "Limitations" extension.
+//
+// The HotOS paper deliberately studies uniform sizes; its stated future work
+// is size-aware LP/QD. This module supplies the substrate: requests carry a
+// byte size, web-like generators draw sizes from a log-normal (the classic
+// web object-size distribution), and byte-hit/byte-miss accounting joins the
+// object-level metrics.
+
+#ifndef QDLP_SRC_SIZED_SIZED_TRACE_H_
+#define QDLP_SRC_SIZED_SIZED_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace qdlp {
+
+struct SizedRequest {
+  ObjectId id = 0;
+  uint64_t size = 1;  // bytes
+};
+
+struct SizedTrace {
+  std::string name;
+  std::vector<SizedRequest> requests;
+  uint64_t num_objects = 0;
+  uint64_t total_object_bytes = 0;  // sum of distinct objects' sizes
+
+  size_t num_requests() const { return requests.size(); }
+};
+
+struct SizedWebConfig {
+  uint64_t num_requests = 100000;
+  // Popularity: Zipf over a fixed corpus plus a one-hit-wonder stream.
+  uint64_t num_objects = 20000;
+  double skew = 0.9;
+  double one_hit_wonder_fraction = 0.15;
+  // Log-normal size parameters (of ln bytes). Defaults give a median of
+  // ~8 KiB with a heavy tail, truncated to [64 B, 64 MiB].
+  double log_size_mean = 9.0;
+  double log_size_sigma = 1.5;
+  uint64_t min_size = 64;
+  uint64_t max_size = 64ull << 20;
+  uint64_t seed = 1;
+};
+
+// Sizes are per-object (stable across requests for the same id).
+SizedTrace GenerateSizedWeb(const SizedWebConfig& config);
+
+// Wraps a uniform trace with fixed-size objects (block workloads).
+SizedTrace FromUniform(const Trace& trace, uint64_t object_size);
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_SIZED_SIZED_TRACE_H_

@@ -1,0 +1,224 @@
+#include "src/trace/generators.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+#include "src/util/zipf.h"
+
+namespace qdlp {
+
+namespace {
+
+// Id namespaces keep logical streams disjoint without coordination.
+constexpr uint64_t kOneHitWonderBase = 1ULL << 40;
+constexpr uint64_t kScanBase = 1ULL << 41;
+constexpr uint64_t kLoopBase = 1ULL << 42;
+constexpr uint64_t kDecayBase = 1ULL << 43;
+
+}  // namespace
+
+Trace GenerateZipf(const ZipfTraceConfig& config) {
+  QDLP_CHECK(config.num_objects >= 1);
+  Trace trace;
+  trace.requests.reserve(config.num_requests);
+  Rng rng(config.seed);
+  ZipfSampler zipf(config.num_objects, config.skew);
+  for (uint64_t i = 0; i < config.num_requests; ++i) {
+    trace.requests.push_back(zipf.Sample(rng));
+  }
+  trace.num_objects = CountUniqueObjects(trace.requests);
+  return trace;
+}
+
+Trace GeneratePopularityDecay(const PopularityDecayConfig& config) {
+  QDLP_CHECK(config.initial_objects >= 1);
+  QDLP_CHECK(config.introduction_rate >= 0.0 && config.introduction_rate < 1.0);
+  QDLP_CHECK(config.one_hit_wonder_fraction >= 0.0 &&
+             config.one_hit_wonder_fraction < 1.0);
+  Trace trace;
+  trace.cls = WorkloadClass::kWeb;
+  trace.requests.reserve(config.num_requests);
+  Rng rng(config.seed);
+
+  // Objects in introduction order; rank 0 of the recency-Zipf is the newest.
+  std::vector<ObjectId> introduced;
+  const uint64_t expected_new = static_cast<uint64_t>(
+      static_cast<double>(config.num_requests) * config.introduction_rate);
+  introduced.reserve(config.initial_objects + expected_new + 1);
+  uint64_t next_id = kDecayBase;
+  for (uint64_t i = 0; i < config.initial_objects; ++i) {
+    introduced.push_back(next_id++);
+  }
+
+  // The sampler is sized for the final population; ranks beyond the current
+  // population are rejected. Zipf mass concentrates at low ranks, so the
+  // rejection rate is modest even early in the trace.
+  ZipfSampler recency_zipf(config.initial_objects + expected_new + 1,
+                           config.recency_skew);
+  uint64_t one_hit_counter = kOneHitWonderBase;
+
+  for (uint64_t i = 0; i < config.num_requests; ++i) {
+    if (rng.NextBool(config.one_hit_wonder_fraction)) {
+      trace.requests.push_back(one_hit_counter++);
+      continue;
+    }
+    if (rng.NextBool(config.introduction_rate)) {
+      introduced.push_back(next_id++);
+      trace.requests.push_back(introduced.back());
+      continue;
+    }
+    uint64_t rank = recency_zipf.Sample(rng);
+    while (rank >= introduced.size()) {
+      rank = recency_zipf.Sample(rng);
+    }
+    trace.requests.push_back(introduced[introduced.size() - 1 - rank]);
+  }
+  trace.num_objects = CountUniqueObjects(trace.requests);
+  return trace;
+}
+
+Trace GenerateScanLoop(const ScanLoopConfig& config) {
+  QDLP_CHECK(config.hot_objects >= 1);
+  QDLP_CHECK(config.scan_length_min >= 1);
+  QDLP_CHECK(config.scan_length_max >= config.scan_length_min);
+  Trace trace;
+  trace.cls = WorkloadClass::kBlock;
+  trace.requests.reserve(config.num_requests);
+  Rng rng(config.seed);
+  ZipfSampler hot_zipf(config.hot_objects, config.hot_skew);
+
+  // Sliding hot window: rank 0 (most popular) maps to the newest id, and
+  // the window advances by one id every `drift_interval` requests, retiring
+  // the oldest ids. drift == 0 keeps popularity stationary.
+  const uint64_t drift_interval =
+      config.hot_drift_objects == 0
+          ? 0
+          : std::max<uint64_t>(1, config.num_requests / config.hot_drift_objects);
+  uint64_t drift_base = 0;
+
+  enum class State { kHot, kScan, kLoop };
+  State state = State::kHot;
+
+  // Scan bookkeeping. Fresh scans draw consecutive addresses from a bump
+  // allocator; re-scans replay a previously-seen extent.
+  struct Extent {
+    uint64_t start;
+    uint64_t length;
+  };
+  std::vector<Extent> past_scans;
+  uint64_t scan_cursor = 0;
+  uint64_t scan_remaining = 0;
+  uint64_t next_scan_address = kScanBase;
+
+  // Loop bookkeeping.
+  uint64_t loop_start = 0;
+  uint64_t loop_pos = 0;
+  uint64_t loop_rounds_left = 0;
+  uint64_t next_loop_address = kLoopBase;
+
+  for (uint64_t i = 0; i < config.num_requests; ++i) {
+    switch (state) {
+      case State::kHot: {
+        if (rng.NextBool(config.scan_start_probability)) {
+          const uint64_t length =
+              config.scan_length_min +
+              rng.NextBounded(config.scan_length_max - config.scan_length_min + 1);
+          if (!past_scans.empty() && rng.NextBool(config.rescan_fraction)) {
+            const Extent& extent =
+                past_scans[rng.NextBounded(past_scans.size())];
+            scan_cursor = extent.start;
+            scan_remaining = extent.length;
+          } else {
+            scan_cursor = next_scan_address;
+            scan_remaining = length;
+            past_scans.push_back({next_scan_address, length});
+            next_scan_address += length;
+          }
+          state = State::kScan;
+          // Fall through to emit the first scan request below on the next
+          // loop iteration; emit a hot request now to keep the stream mixed.
+        } else if (rng.NextBool(config.loop_start_probability)) {
+          loop_start = next_loop_address;
+          next_loop_address += config.loop_region;
+          loop_pos = 0;
+          loop_rounds_left = config.loop_iterations;
+          state = State::kLoop;
+        }
+        if (drift_interval != 0 && i % drift_interval == 0 && i > 0) {
+          ++drift_base;
+        }
+        const uint64_t rank = hot_zipf.Sample(rng);
+        trace.requests.push_back(drift_base + (config.hot_objects - 1 - rank));
+        break;
+      }
+      case State::kScan: {
+        trace.requests.push_back(scan_cursor++);
+        if (--scan_remaining == 0) {
+          state = State::kHot;
+        }
+        break;
+      }
+      case State::kLoop: {
+        trace.requests.push_back(loop_start + loop_pos);
+        if (++loop_pos == config.loop_region) {
+          loop_pos = 0;
+          if (--loop_rounds_left == 0) {
+            state = State::kHot;
+          }
+        }
+        break;
+      }
+    }
+  }
+  trace.num_objects = CountUniqueObjects(trace.requests);
+  return trace;
+}
+
+Trace GeneratePhaseChange(const PhaseChangeConfig& config) {
+  QDLP_CHECK(config.working_set >= 1);
+  QDLP_CHECK(config.phase_length >= 1);
+  Trace trace;
+  trace.cls = WorkloadClass::kBlock;
+  trace.requests.reserve(config.num_requests);
+  Rng rng(config.seed);
+  ZipfSampler zipf(config.working_set, config.skew);
+  for (uint64_t i = 0; i < config.num_requests; ++i) {
+    const uint64_t phase = i / config.phase_length;
+    const uint64_t base = phase * config.working_set;
+    trace.requests.push_back(base + zipf.Sample(rng));
+  }
+  trace.num_objects = CountUniqueObjects(trace.requests);
+  return trace;
+}
+
+Trace GenerateHighReuseKv(const HighReuseKvConfig& config) {
+  QDLP_CHECK(config.num_objects >= 1);
+  QDLP_CHECK(config.locality_window >= 1);
+  Trace trace;
+  trace.cls = WorkloadClass::kWeb;
+  trace.requests.reserve(config.num_requests);
+  Rng rng(config.seed);
+  ZipfSampler zipf(config.num_objects, config.skew);
+
+  std::vector<ObjectId> recent(config.locality_window, 0);
+  size_t recent_filled = 0;
+  size_t recent_next = 0;
+
+  for (uint64_t i = 0; i < config.num_requests; ++i) {
+    ObjectId id;
+    if (recent_filled > 0 && rng.NextBool(config.locality_probability)) {
+      id = recent[rng.NextBounded(recent_filled)];
+    } else {
+      id = zipf.Sample(rng);
+    }
+    recent[recent_next] = id;
+    recent_next = (recent_next + 1) % config.locality_window;
+    recent_filled = std::min(recent_filled + 1, recent.size());
+    trace.requests.push_back(id);
+  }
+  trace.num_objects = CountUniqueObjects(trace.requests);
+  return trace;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,125 @@
+// Synthetic workload generators.
+//
+// These substitute for the paper's 5307 production traces (see DESIGN.md §2).
+// Each generator controls one of the access-pattern properties the paper
+// identifies as causally relevant to the LP/QD results:
+//
+//  * GenerateZipf           — stationary Zipf popularity (Breslau et al.);
+//                             baseline for every cache class.
+//  * GeneratePopularityDecay— web/CDN behaviour: new objects keep arriving,
+//                             popularity concentrates on recently-introduced
+//                             objects, plus a one-hit-wonder stream (short-
+//                             lived/versioned/dynamic data, §4).
+//  * GenerateScanLoop       — block behaviour: Zipf hot set mixed with long
+//                             sequential scans and loops (§4 cites scan/loop
+//                             patterns in block workloads).
+//  * GenerateHighReuseKv    — social-network / KV behaviour: small universe,
+//                             high per-object reuse ("most objects are
+//                             accessed more than once", §3 footnote 3).
+//
+// All generators are deterministic functions of their config (including the
+// seed). Object ids are dense within a generator but namespaced per logical
+// stream so that e.g. scan blocks never collide with hot-set blocks.
+
+#ifndef QDLP_SRC_TRACE_GENERATORS_H_
+#define QDLP_SRC_TRACE_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace qdlp {
+
+struct ZipfTraceConfig {
+  uint64_t num_requests = 100000;
+  uint64_t num_objects = 20000;
+  double skew = 1.0;
+  uint64_t seed = 1;
+};
+
+Trace GenerateZipf(const ZipfTraceConfig& config);
+
+struct PopularityDecayConfig {
+  uint64_t num_requests = 100000;
+  // A new object is introduced (and immediately requested) every
+  // 1/introduction_rate requests on average.
+  double introduction_rate = 0.12;
+  // Requests target recently-introduced objects: the rank over objects in
+  // reverse introduction order is Zipf(recency_skew). Higher skew means
+  // faster popularity decay.
+  double recency_skew = 0.8;
+  // Fraction of requests that go to brand-new objects never requested again
+  // (dynamic data, versioned names, short TTLs).
+  double one_hit_wonder_fraction = 0.15;
+  // Objects pre-populated before the trace starts (a warm corpus).
+  uint64_t initial_objects = 2000;
+  uint64_t seed = 1;
+};
+
+Trace GeneratePopularityDecay(const PopularityDecayConfig& config);
+
+struct ScanLoopConfig {
+  uint64_t num_requests = 100000;
+  // Hot set accessed with Zipf popularity.
+  uint64_t hot_objects = 8000;
+  double hot_skew = 1.0;
+  // Popularity decay: the hot set is a sliding window over a growing id
+  // space; `hot_drift_objects` fresh ids enter (and as many old ids retire)
+  // over the course of the trace. 0 = stationary popularity. The paper
+  // observes popularity decay in block as well as web workloads (§3).
+  uint64_t hot_drift_objects = 2000;
+  // Probability that a request starts a sequential scan / a loop when in the
+  // background (hot) state.
+  double scan_start_probability = 0.002;
+  double loop_start_probability = 0.001;
+  // Scan length distribution: uniform in [min, max].
+  uint64_t scan_length_min = 200;
+  uint64_t scan_length_max = 3000;
+  // Loops re-iterate a region of `loop_region` blocks `loop_iterations` times.
+  uint64_t loop_region = 200;
+  uint64_t loop_iterations = 4;
+  // Fraction of scans that revisit a previously-scanned extent (re-scan),
+  // rather than touching fresh blocks. Kept low: production block traces
+  // rarely replay whole extents within cache-relevant windows, and high
+  // values make every workload FIFO-optimal by construction.
+  double rescan_fraction = 0.1;
+  uint64_t seed = 1;
+};
+
+Trace GenerateScanLoop(const ScanLoopConfig& config);
+
+// Abrupt working-set phases (Denning's program phases). The paper's
+// footnote 2 conjectures this is the regime where CLOCK loses to LRU —
+// virtual-memory workloads switch working sets suddenly, and CLOCK's
+// retained reference bits delay adaptation — while noting that block/web
+// cache workloads do NOT show such phases. This generator exists to test
+// that conjecture; it is deliberately NOT part of the Table-1 registry.
+struct PhaseChangeConfig {
+  uint64_t num_requests = 100000;
+  // Each phase draws Zipf(skew) from a disjoint working set of this size.
+  uint64_t working_set = 2000;
+  double skew = 0.8;
+  // Requests per phase (phase switches are instantaneous).
+  uint64_t phase_length = 10000;
+  uint64_t seed = 1;
+};
+
+Trace GeneratePhaseChange(const PhaseChangeConfig& config);
+
+struct HighReuseKvConfig {
+  uint64_t num_requests = 100000;
+  uint64_t num_objects = 6000;
+  double skew = 1.2;
+  // Extra temporal locality: with this probability a request repeats one of
+  // the last `locality_window` distinct keys instead of sampling Zipf.
+  double locality_probability = 0.2;
+  uint64_t locality_window = 64;
+  uint64_t seed = 1;
+};
+
+Trace GenerateHighReuseKv(const HighReuseKvConfig& config);
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_TRACE_GENERATORS_H_

@@ -1,0 +1,171 @@
+#include "src/trace/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/trace/generators.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+
+std::vector<DatasetSpec> Table1Datasets() {
+  // Counts are the paper's per-source trace counts scaled to laptop size;
+  // relative ordering (TencentCBS and Alibaba dominating the block side,
+  // CDN and SocialNetwork dominating the web side) is preserved.
+  std::vector<DatasetSpec> specs;
+  auto add = [&specs](std::string name, FamilyKind kind, WorkloadClass cls,
+                      int count, double skew, double aux, uint64_t universe,
+                      uint64_t seed) {
+    DatasetSpec spec;
+    spec.name = std::move(name);
+    spec.kind = kind;
+    spec.cls = cls;
+    spec.base_trace_count = count;
+    spec.skew = skew;
+    spec.aux = aux;
+    spec.universe = universe;
+    spec.seed = seed;
+    specs.push_back(std::move(spec));
+  };
+  // name, kind, class, #traces, skew, aux, universe, seed
+  add("msr", FamilyKind::kScanLoopBlock, WorkloadClass::kBlock, 8, 0.9, 1.6,
+      9000, 101);
+  add("fiu", FamilyKind::kScanLoopBlock, WorkloadClass::kBlock, 6, 1.0, 1.0,
+      6000, 202);
+  add("cloudphysics", FamilyKind::kMixedBlock, WorkloadClass::kBlock, 10, 0.95,
+      0.8, 12000, 303);
+  add("major_cdn", FamilyKind::kPopularityDecayWeb, WorkloadClass::kWeb, 12,
+      0.75, 0.22, 2500, 404);
+  add("tencent_photo", FamilyKind::kPopularityDecayWeb, WorkloadClass::kWeb, 2,
+      0.70, 0.28, 4000, 505);
+  add("wiki_cdn", FamilyKind::kPopularityDecayWeb, WorkloadClass::kWeb, 3,
+      0.85, 0.12, 3000, 606);
+  add("tencent_cbs", FamilyKind::kMixedBlock, WorkloadClass::kBlock, 16, 1.0,
+      0.6, 10000, 707);
+  add("alibaba", FamilyKind::kMixedBlock, WorkloadClass::kBlock, 12, 0.9, 1.2,
+      14000, 808);
+  add("twitter", FamilyKind::kHighReuseKv, WorkloadClass::kWeb, 8, 1.1, 0.15,
+      8000, 909);
+  add("social_network", FamilyKind::kHighReuseKv, WorkloadClass::kWeb, 10, 1.25,
+      0.3, 5000, 1010);
+  return specs;
+}
+
+int TraceCountAtScale(const DatasetSpec& spec, double scale) {
+  QDLP_CHECK(scale > 0.0);
+  const double count_scale = std::sqrt(scale);
+  return std::max(1, static_cast<int>(std::lround(
+                         static_cast<double>(spec.base_trace_count) * count_scale)));
+}
+
+namespace {
+
+// Deterministic per-trace jitter around the family center values, so that a
+// family is a population of related-but-distinct workloads, like the paper's
+// per-source trace collections.
+struct Jitter {
+  double skew;
+  double aux;
+  uint64_t universe;
+  uint64_t seed;
+};
+
+Jitter JitterFor(const DatasetSpec& spec, int index) {
+  Rng rng(SplitMix64(spec.seed * 1000003ULL + static_cast<uint64_t>(index)));
+  Jitter jitter;
+  jitter.skew = spec.skew * rng.NextRange(0.85, 1.15);
+  jitter.aux = spec.aux * rng.NextRange(0.6, 1.4);
+  jitter.universe = std::max<uint64_t>(
+      500, static_cast<uint64_t>(static_cast<double>(spec.universe) *
+                                 rng.NextRange(0.6, 1.6)));
+  jitter.seed = rng.Next();
+  return jitter;
+}
+
+}  // namespace
+
+Trace MakeTrace(const DatasetSpec& spec, int index, double scale) {
+  QDLP_CHECK(index >= 0);
+  QDLP_CHECK(scale > 0.0);
+  const Jitter jitter = JitterFor(spec, index);
+  const double request_scale = std::sqrt(scale);
+  const uint64_t num_requests = std::max<uint64_t>(
+      10000, static_cast<uint64_t>(static_cast<double>(spec.base_requests) *
+                                   request_scale));
+
+  Trace trace;
+  switch (spec.kind) {
+    case FamilyKind::kScanLoopBlock: {
+      ScanLoopConfig config;
+      config.num_requests = num_requests;
+      config.hot_objects = jitter.universe;
+      config.hot_skew = jitter.skew;
+      // aux scales scan/loop intensity.
+      config.scan_start_probability = 0.002 * jitter.aux;
+      config.loop_start_probability = 0.001 * jitter.aux;
+      config.hot_drift_objects =
+          static_cast<uint64_t>(static_cast<double>(jitter.universe) * 0.35);
+      config.seed = jitter.seed;
+      trace = GenerateScanLoop(config);
+      break;
+    }
+    case FamilyKind::kMixedBlock: {
+      ScanLoopConfig config;
+      config.num_requests = num_requests;
+      config.hot_objects = jitter.universe;
+      config.hot_skew = jitter.skew;
+      config.scan_start_probability = 0.0012 * jitter.aux;
+      config.loop_start_probability = 0.0004 * jitter.aux;
+      config.scan_length_min = 100;
+      config.scan_length_max = 1500;
+      config.rescan_fraction = 0.15;
+      config.hot_drift_objects =
+          static_cast<uint64_t>(static_cast<double>(jitter.universe) * 0.45);
+      config.seed = jitter.seed;
+      trace = GenerateScanLoop(config);
+      break;
+    }
+    case FamilyKind::kPopularityDecayWeb: {
+      PopularityDecayConfig config;
+      config.num_requests = num_requests;
+      config.recency_skew = jitter.skew;
+      config.one_hit_wonder_fraction = std::min(0.5, jitter.aux);
+      config.initial_objects = jitter.universe;
+      config.introduction_rate = 0.10;
+      config.seed = jitter.seed;
+      trace = GeneratePopularityDecay(config);
+      break;
+    }
+    case FamilyKind::kHighReuseKv: {
+      HighReuseKvConfig config;
+      config.num_requests = num_requests;
+      config.num_objects = jitter.universe;
+      config.skew = jitter.skew;
+      config.locality_probability = std::min(0.6, jitter.aux);
+      config.seed = jitter.seed;
+      trace = GenerateHighReuseKv(config);
+      break;
+    }
+  }
+  trace.dataset = spec.name;
+  trace.cls = spec.cls;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/%03d", index);
+  trace.name = spec.name + buf;
+  return trace;
+}
+
+std::vector<Trace> MaterializeRegistry(double scale) {
+  std::vector<Trace> traces;
+  for (const DatasetSpec& spec : Table1Datasets()) {
+    const int count = TraceCountAtScale(spec, scale);
+    for (int i = 0; i < count; ++i) {
+      traces.push_back(MakeTrace(spec, i, scale));
+    }
+  }
+  return traces;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,66 @@
+// Dataset registry mirroring Table 1 of the paper.
+//
+// The paper evaluates on 5307 traces from ten data sources. We cannot ship
+// those traces, so the registry defines ten synthetic *dataset families* with
+// the same cache types (block vs web/KV) and the workload character the paper
+// attributes to each source, and materializes any number of seeded traces per
+// family with jittered parameters. Per-family trace counts and trace lengths
+// are scaled down to laptop scale by default and can be grown with the
+// `scale` knob (bench binaries read QDLP_SCALE).
+//
+// Everything is deterministic: trace (family, index) always yields the same
+// request stream.
+
+#ifndef QDLP_SRC_TRACE_REGISTRY_H_
+#define QDLP_SRC_TRACE_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace qdlp {
+
+enum class FamilyKind {
+  kScanLoopBlock,     // MSR/FIU-style enterprise block storage
+  kMixedBlock,        // CloudPhysics/Alibaba/TencentCBS-style cloud block
+  kPopularityDecayWeb,// CDN / photo / wiki object caches
+  kHighReuseKv,       // Twitter / social-network in-memory KV
+};
+
+struct DatasetSpec {
+  std::string name;
+  FamilyKind kind = FamilyKind::kMixedBlock;
+  WorkloadClass cls = WorkloadClass::kBlock;
+  // Number of traces to materialize at scale == 1.
+  int base_trace_count = 4;
+  // Requests per trace at scale == 1.
+  uint64_t base_requests = 100000;
+  // Family-specific shape parameters (interpreted per kind; jittered
+  // per-trace by the registry).
+  double skew = 1.0;            // Zipf/recency skew center
+  double aux = 0.0;             // kind-specific: scan intensity or
+                                // one-hit-wonder fraction or locality prob
+  uint64_t universe = 10000;    // hot-set / corpus size center
+  uint64_t seed = 0;            // family seed
+};
+
+// The ten families of Table 1.
+std::vector<DatasetSpec> Table1Datasets();
+
+// Materializes trace `index` (0-based) of `spec`. `scale` multiplies the
+// request count; parameters are jittered deterministically per index.
+Trace MakeTrace(const DatasetSpec& spec, int index, double scale = 1.0);
+
+// Materializes all traces of all families. `scale` multiplies both per-family
+// trace counts and request counts (sqrt-split so scale=4 gives 2x traces of
+// 2x length).
+std::vector<Trace> MaterializeRegistry(double scale = 1.0);
+
+// Number of traces family `spec` contributes at the given scale.
+int TraceCountAtScale(const DatasetSpec& spec, double scale);
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_TRACE_REGISTRY_H_

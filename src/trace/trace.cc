@@ -1,0 +1,100 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace qdlp {
+
+const char* WorkloadClassName(WorkloadClass cls) {
+  switch (cls) {
+    case WorkloadClass::kBlock:
+      return "block";
+    case WorkloadClass::kWeb:
+      return "web";
+  }
+  return "unknown";
+}
+
+uint64_t CountUniqueObjects(const std::vector<ObjectId>& requests) {
+  std::unordered_set<ObjectId> seen;
+  seen.reserve(requests.size() / 2);
+  for (ObjectId id : requests) {
+    seen.insert(id);
+  }
+  return seen.size();
+}
+
+TraceStats ComputeTraceStats(const Trace& trace) {
+  TraceStats stats;
+  stats.num_requests = trace.requests.size();
+  std::unordered_map<ObjectId, uint64_t> freq;
+  freq.reserve(trace.requests.size() / 2);
+  for (ObjectId id : trace.requests) {
+    ++freq[id];
+  }
+  stats.num_objects = freq.size();
+  if (stats.num_objects == 0) {
+    return stats;
+  }
+  stats.mean_frequency =
+      static_cast<double>(stats.num_requests) / static_cast<double>(stats.num_objects);
+  uint64_t one_hit = 0;
+  std::vector<uint64_t> counts;
+  counts.reserve(freq.size());
+  for (const auto& [id, count] : freq) {
+    counts.push_back(count);
+    if (count == 1) {
+      ++one_hit;
+    }
+  }
+  stats.one_hit_wonder_ratio =
+      static_cast<double>(one_hit) / static_cast<double>(stats.num_objects);
+  std::sort(counts.begin(), counts.end(), std::greater<uint64_t>());
+  const size_t top = std::max<size_t>(1, counts.size() / 100);
+  uint64_t top_sum = 0;
+  for (size_t i = 0; i < top; ++i) {
+    top_sum += counts[i];
+  }
+  stats.top_1pct_share =
+      static_cast<double>(top_sum) / static_cast<double>(stats.num_requests);
+
+  // Zipf fit over the head of the rank-frequency curve (ranks up to the
+  // 20th percentile or 10k, whichever is smaller; the tail of ties at
+  // frequency 1 would otherwise flatten the slope).
+  const size_t fit_span =
+      std::min<size_t>(std::max<size_t>(counts.size() / 5, 10), 10000);
+  if (counts.size() >= 10 && counts[0] > 1) {
+    double sum_x = 0.0;
+    double sum_y = 0.0;
+    double sum_xx = 0.0;
+    double sum_xy = 0.0;
+    size_t n = 0;
+    for (size_t rank = 0; rank < std::min(fit_span, counts.size()); ++rank) {
+      if (counts[rank] == 0) {
+        break;
+      }
+      const double x = std::log(static_cast<double>(rank + 1));
+      const double y = std::log(static_cast<double>(counts[rank]));
+      sum_x += x;
+      sum_y += y;
+      sum_xx += x * x;
+      sum_xy += x * y;
+      ++n;
+    }
+    const double denom = static_cast<double>(n) * sum_xx - sum_x * sum_x;
+    if (n >= 2 && denom > 1e-9) {
+      const double slope =
+          (static_cast<double>(n) * sum_xy - sum_x * sum_y) / denom;
+      stats.zipf_alpha = -slope;  // frequency ~ rank^-alpha
+    }
+  }
+  if (stats.num_requests > 0) {
+    stats.compulsory_miss_ratio = static_cast<double>(stats.num_objects) /
+                                  static_cast<double>(stats.num_requests);
+  }
+  return stats;
+}
+
+}  // namespace qdlp

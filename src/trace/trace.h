@@ -1,0 +1,61 @@
+// Request trace model.
+//
+// The paper studies eviction with uniform object sizes ("we assume objects to
+// be uniform in size so that we can focus on the effect of access patterns"),
+// so a trace is simply an ordered sequence of object ids. Traces carry enough
+// metadata (dataset name, workload class, unique-object count) for the
+// experiment harnesses to bucket results the way the paper's figures do
+// (block vs web, cache size as a fraction of unique objects).
+
+#ifndef QDLP_SRC_TRACE_TRACE_H_
+#define QDLP_SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qdlp {
+
+using ObjectId = uint64_t;
+
+// The paper groups its ten datasets into two classes for reporting.
+enum class WorkloadClass {
+  kBlock,
+  kWeb,  // object/CDN and key-value caches
+};
+
+const char* WorkloadClassName(WorkloadClass cls);
+
+struct Trace {
+  std::string name;       // e.g. "msr/003"
+  std::string dataset;    // e.g. "msr"
+  WorkloadClass cls = WorkloadClass::kBlock;
+  std::vector<ObjectId> requests;
+  uint64_t num_objects = 0;  // number of distinct ids in `requests`
+
+  size_t num_requests() const { return requests.size(); }
+};
+
+// Recomputes `num_objects` from the request stream.
+uint64_t CountUniqueObjects(const std::vector<ObjectId>& requests);
+
+// Descriptive statistics of a trace, used for the Table-1 style report and
+// for validating that generated workloads have the intended character.
+struct TraceStats {
+  uint64_t num_requests = 0;
+  uint64_t num_objects = 0;
+  double mean_frequency = 0.0;      // requests per object
+  double one_hit_wonder_ratio = 0.0;  // fraction of objects requested once
+  double top_1pct_share = 0.0;      // share of requests to the top 1% objects
+  double compulsory_miss_ratio = 0.0;  // num_objects / num_requests
+  // Least-squares slope of log(frequency) vs log(rank) over the head of the
+  // popularity distribution — the fitted Zipf exponent (0 when the trace is
+  // too small to fit). Cache workloads typically land in [0.6, 1.3].
+  double zipf_alpha = 0.0;
+};
+
+TraceStats ComputeTraceStats(const Trace& trace);
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_TRACE_TRACE_H_

@@ -1,0 +1,163 @@
+#include "src/trace/trace_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+#include <vector>
+
+namespace qdlp {
+
+namespace {
+constexpr char kMagic[4] = {'Q', 'D', 'T', '1'};
+}  // namespace
+
+bool WriteTraceBinary(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const uint64_t count = trace.requests.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(trace.requests.data()),
+            static_cast<std::streamsize>(count * sizeof(ObjectId)));
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> ReadTraceBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) {
+    return std::nullopt;
+  }
+  // Guard against corrupt headers demanding absurd allocations.
+  constexpr uint64_t kMaxRequests = 1ULL << 36;
+  if (count > kMaxRequests) {
+    return std::nullopt;
+  }
+  Trace trace;
+  trace.name = path;
+  trace.requests.resize(count);
+  in.read(reinterpret_cast<char*>(trace.requests.data()),
+          static_cast<std::streamsize>(count * sizeof(ObjectId)));
+  if (!in) {
+    return std::nullopt;
+  }
+  trace.num_objects = CountUniqueObjects(trace.requests);
+  return trace;
+}
+
+bool WriteTraceCsv(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "# qdlp trace: " << trace.name << "\n";
+  for (ObjectId id : trace.requests) {
+    out << id << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> ReadTraceCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  Trace trace;
+  trace.name = path;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long long id = std::strtoull(line.c_str(), &end, 10);
+    if (end == line.c_str()) {
+      return std::nullopt;
+    }
+    trace.requests.push_back(static_cast<ObjectId>(id));
+  }
+  trace.num_objects = CountUniqueObjects(trace.requests);
+  return trace;
+}
+
+namespace {
+
+// One oracleGeneral record; packed to match libCacheSim's on-disk layout.
+#pragma pack(push, 1)
+struct OracleGeneralRecord {
+  uint32_t timestamp;
+  uint64_t object_id;
+  uint32_t object_size;
+  int64_t next_access_vtime;
+};
+#pragma pack(pop)
+static_assert(sizeof(OracleGeneralRecord) == 24,
+              "oracleGeneral records are 24 bytes");
+
+}  // namespace
+
+bool WriteTraceOracleGeneral(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  // Next-access virtual times (position of the next request, or -1).
+  std::vector<int64_t> next_access(trace.requests.size(), -1);
+  std::unordered_map<ObjectId, size_t> upcoming;
+  for (size_t i = trace.requests.size(); i-- > 0;) {
+    const auto it = upcoming.find(trace.requests[i]);
+    next_access[i] = it == upcoming.end() ? -1 : static_cast<int64_t>(it->second);
+    upcoming[trace.requests[i]] = i;
+  }
+  for (size_t i = 0; i < trace.requests.size(); ++i) {
+    OracleGeneralRecord record;
+    record.timestamp = static_cast<uint32_t>(i);
+    record.object_id = trace.requests[i];
+    record.object_size = 1;
+    record.next_access_vtime = next_access[i];
+    out.write(reinterpret_cast<const char*>(&record), sizeof(record));
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> ReadTraceOracleGeneral(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  in.seekg(0, std::ios::end);
+  const std::streamoff bytes = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (bytes < 0 || bytes % static_cast<std::streamoff>(
+                               sizeof(OracleGeneralRecord)) != 0) {
+    return std::nullopt;
+  }
+  const size_t count = static_cast<size_t>(bytes) / sizeof(OracleGeneralRecord);
+  Trace trace;
+  trace.name = path;
+  trace.requests.reserve(count);
+  OracleGeneralRecord record;
+  for (size_t i = 0; i < count; ++i) {
+    in.read(reinterpret_cast<char*>(&record), sizeof(record));
+    if (!in) {
+      return std::nullopt;
+    }
+    trace.requests.push_back(record.object_id);
+  }
+  trace.num_objects = CountUniqueObjects(trace.requests);
+  return trace;
+}
+
+}  // namespace qdlp

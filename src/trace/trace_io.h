@@ -1,0 +1,40 @@
+// Trace serialization: a simple binary format for speed and CSV for
+// interchange, so users can replay their own production traces through the
+// simulator.
+//
+// Binary format ("QDT1"): 4-byte magic, uint64 request count, then that many
+// little-endian uint64 object ids.
+// CSV format: one object id per line; lines starting with '#' are comments.
+
+#ifndef QDLP_SRC_TRACE_TRACE_IO_H_
+#define QDLP_SRC_TRACE_TRACE_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace qdlp {
+
+// All functions return false / nullopt on I/O or format errors; they never
+// abort on bad input files.
+bool WriteTraceBinary(const Trace& trace, const std::string& path);
+std::optional<Trace> ReadTraceBinary(const std::string& path);
+
+bool WriteTraceCsv(const Trace& trace, const std::string& path);
+std::optional<Trace> ReadTraceCsv(const std::string& path);
+
+// libCacheSim "oracleGeneral" binary format, so traces prepared for that
+// simulator (including the public MSR/Twitter conversions) replay here
+// directly. Per record, little-endian, packed:
+//   uint32 timestamp, uint64 object id, uint32 object size,
+//   int64 next_access_vtime.
+// Reading discards sizes/timestamps (uniform-size model); writing emits
+// synthetic timestamps, size 1, and next-access times computed from the
+// trace (so the output is valid oracle input for other simulators too).
+bool WriteTraceOracleGeneral(const Trace& trace, const std::string& path);
+std::optional<Trace> ReadTraceOracleGeneral(const std::string& path);
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_TRACE_TRACE_IO_H_

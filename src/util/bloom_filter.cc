@@ -1,0 +1,52 @@
+#include "src/util/bloom_filter.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+
+BloomFilter::BloomFilter(size_t expected_items) {
+  QDLP_CHECK(expected_items >= 1);
+  // ~8.5 bits/item gives ~3% FPR at k=4; round words up to a power of two so
+  // ProbeIndex can mask instead of mod.
+  size_t words = (expected_items * 9 + 63) / 64;
+  size_t pow2 = 1;
+  while (pow2 < words) {
+    pow2 <<= 1;
+  }
+  bits_.assign(pow2, 0);
+}
+
+size_t BloomFilter::ProbeIndex(uint64_t key, int probe) const {
+  const uint64_t h1 = SplitMix64(key);
+  const uint64_t h2 = SplitMix64(key ^ 0xa5a5a5a5a5a5a5a5ULL) | 1;
+  const uint64_t h = h1 + static_cast<uint64_t>(probe) * h2;
+  return static_cast<size_t>(h) & (bits_.size() * 64 - 1);
+}
+
+void BloomFilter::Insert(uint64_t key) {
+  for (int probe = 0; probe < kProbes; ++probe) {
+    const size_t index = ProbeIndex(key, probe);
+    bits_[index >> 6] |= 1ULL << (index & 63);
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  for (int probe = 0; probe < kProbes; ++probe) {
+    const size_t index = ProbeIndex(key, probe);
+    if ((bits_[index >> 6] & (1ULL << (index & 63))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BloomFilter::Clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  inserted_ = 0;
+}
+
+}  // namespace qdlp

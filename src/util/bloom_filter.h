@@ -1,0 +1,47 @@
+// Blocked Bloom filter over 64-bit keys.
+//
+// Used as TinyLFU's "doorkeeper" (Einziger et al., ACM TOS'17): first-time
+// objects set a bit instead of touching the frequency sketch, halving sketch
+// traffic for one-hit wonders. Also usable standalone as the Bloom-filter
+// admission policy the paper cites ([18, 54]: admit only on second request).
+
+#ifndef QDLP_SRC_UTIL_BLOOM_FILTER_H_
+#define QDLP_SRC_UTIL_BLOOM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qdlp {
+
+class BloomFilter {
+ public:
+  // Sized for `expected_items` at roughly 3% false-positive rate with
+  // k = 4 hash probes. expected_items must be >= 1.
+  explicit BloomFilter(size_t expected_items);
+
+  void Insert(uint64_t key);
+  // May return true for keys never inserted (false positive), never false
+  // for inserted keys (no false negatives until Clear()).
+  bool MayContain(uint64_t key) const;
+  // Resets all bits; used for periodic aging.
+  void Clear();
+
+  size_t bit_count() const { return bits_.size() * 64; }
+  // Number of Insert() calls since the last Clear().
+  size_t inserted() const { return inserted_; }
+
+ private:
+  static constexpr int kProbes = 4;
+
+  // Derives the i-th probe position from two independent hash halves
+  // (Kirsch-Mitzenmacher double hashing).
+  size_t ProbeIndex(uint64_t key, int probe) const;
+
+  std::vector<uint64_t> bits_;
+  size_t inserted_ = 0;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_UTIL_BLOOM_FILTER_H_

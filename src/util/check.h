@@ -1,0 +1,41 @@
+// Lightweight assertion macros used across the qdlp libraries.
+//
+// Library code does not throw exceptions for control flow; recoverable
+// conditions are reported through return values. QDLP_CHECK guards against
+// programmer misuse (broken invariants, out-of-range configuration) and
+// aborts with a message, in debug and release builds alike.
+
+#ifndef QDLP_SRC_UTIL_CHECK_H_
+#define QDLP_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define QDLP_CHECK(cond)                                                            \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      std::fprintf(stderr, "QDLP_CHECK failed: %s at %s:%d\n", #cond, __FILE__,     \
+                   __LINE__);                                                       \
+      std::abort();                                                                 \
+    }                                                                               \
+  } while (0)
+
+#define QDLP_CHECK_MSG(cond, msg)                                                   \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      std::fprintf(stderr, "QDLP_CHECK failed: %s (%s) at %s:%d\n", #cond, msg,     \
+                   __FILE__, __LINE__);                                             \
+      std::abort();                                                                 \
+    }                                                                               \
+  } while (0)
+
+// Checks that only run in debug builds; used on hot paths.
+#ifdef NDEBUG
+#define QDLP_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define QDLP_DCHECK(cond) QDLP_CHECK(cond)
+#endif
+
+#endif  // QDLP_SRC_UTIL_CHECK_H_

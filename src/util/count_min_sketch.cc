@@ -1,0 +1,82 @@
+#include "src/util/count_min_sketch.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+
+CountMinSketch::CountMinSketch(size_t expected_items, size_t sample_factor) {
+  QDLP_CHECK(expected_items >= 1);
+  QDLP_CHECK(sample_factor >= 1);
+  size_t cells = 1;
+  while (cells < expected_items) {
+    cells <<= 1;
+  }
+  row_cells_ = std::max<size_t>(cells, 64);
+  counters_.assign(kRows * row_cells_ / 2, 0);
+  sample_size_ = static_cast<uint64_t>(expected_items) * sample_factor;
+}
+
+size_t CountMinSketch::IndexOf(uint64_t key, int row) const {
+  const uint64_t h =
+      SplitMix64(key + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(row + 1));
+  return static_cast<size_t>(row) * row_cells_ +
+         (static_cast<size_t>(h) & (row_cells_ - 1));
+}
+
+uint32_t CountMinSketch::CellGet(size_t index) const {
+  const uint8_t byte = counters_[index >> 1];
+  return (index & 1) != 0 ? byte >> 4 : byte & 0x0f;
+}
+
+void CountMinSketch::CellSet(size_t index, uint32_t value) {
+  uint8_t& byte = counters_[index >> 1];
+  if ((index & 1) != 0) {
+    byte = static_cast<uint8_t>((byte & 0x0f) | (value << 4));
+  } else {
+    byte = static_cast<uint8_t>((byte & 0xf0) | value);
+  }
+}
+
+void CountMinSketch::Increment(uint64_t key) {
+  // Conservative update: only bump the cells currently at the minimum.
+  uint32_t minimum = kMaxCount;
+  size_t indices[kRows];
+  for (int row = 0; row < kRows; ++row) {
+    indices[row] = IndexOf(key, row);
+    minimum = std::min(minimum, CellGet(indices[row]));
+  }
+  if (minimum < kMaxCount) {
+    for (size_t index : indices) {
+      if (CellGet(index) == minimum) {
+        CellSet(index, minimum + 1);
+      }
+    }
+  }
+  if (++increments_ >= sample_size_) {
+    Age();
+  }
+}
+
+uint32_t CountMinSketch::Estimate(uint64_t key) const {
+  uint32_t minimum = kMaxCount;
+  for (int row = 0; row < kRows; ++row) {
+    minimum = std::min(minimum, CellGet(IndexOf(key, row)));
+  }
+  return minimum;
+}
+
+void CountMinSketch::Age() {
+  // Halve every 4-bit cell in place: clear each cell's low bit, then shift
+  // the whole byte right (the bit shifted into the high cell's low position
+  // was just cleared).
+  for (uint8_t& byte : counters_) {
+    byte = static_cast<uint8_t>((byte >> 1) & 0x77);
+  }
+  increments_ = 0;
+  ++agings_;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,54 @@
+// Count-Min Sketch with conservative update and periodic halving ("aging"),
+// 4-bit counters packed two per byte — the frequency sketch of TinyLFU
+// (Einziger, Friedman & Manes, ACM TOS'17).
+//
+// Estimate() never under-counts (within the aging window); over-counting is
+// bounded by the sketch width. Aging halves every counter once the number of
+// recorded increments reaches the configured sample size, giving the
+// sliding-window frequency semantics W-TinyLFU relies on.
+
+#ifndef QDLP_SRC_UTIL_COUNT_MIN_SKETCH_H_
+#define QDLP_SRC_UTIL_COUNT_MIN_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qdlp {
+
+class CountMinSketch {
+ public:
+  // `expected_items`: working-set size the sketch should resolve (the cache
+  // capacity, for TinyLFU). `sample_factor`: increments before aging, as a
+  // multiple of expected_items (TinyLFU uses ~10x).
+  explicit CountMinSketch(size_t expected_items, size_t sample_factor = 10);
+
+  // Increments key's counters (conservative update), saturating at 15.
+  // Triggers aging when the sample budget is exhausted.
+  void Increment(uint64_t key);
+
+  // Point estimate in [0, 15].
+  uint32_t Estimate(uint64_t key) const;
+
+  uint64_t aging_count() const { return agings_; }
+  size_t counter_count() const { return counters_.size() * 2; }
+
+ private:
+  static constexpr int kRows = 4;
+  static constexpr uint32_t kMaxCount = 15;
+
+  size_t IndexOf(uint64_t key, int row) const;
+  uint32_t CellGet(size_t index) const;
+  void CellSet(size_t index, uint32_t value);
+  void Age();
+
+  size_t row_cells_;  // cells per row (power of two)
+  std::vector<uint8_t> counters_;  // two 4-bit cells per byte, kRows rows
+  uint64_t increments_ = 0;
+  uint64_t sample_size_;
+  uint64_t agings_ = 0;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_UTIL_COUNT_MIN_SKETCH_H_

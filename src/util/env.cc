@@ -1,0 +1,33 @@
+#include "src/util/env.h"
+
+#include <cstdlib>
+
+namespace qdlp {
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw) {
+    return fallback;
+  }
+  return value;
+}
+
+int64_t GetEnvInt(const std::string& name, int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw) {
+    return fallback;
+  }
+  return static_cast<int64_t>(value);
+}
+
+}  // namespace qdlp

@@ -1,0 +1,23 @@
+// Small helpers for reading experiment-scale knobs from the environment.
+//
+// Bench binaries default to laptop-scale runs; QDLP_SCALE and friends let
+// users trade runtime for fidelity without rebuilding.
+
+#ifndef QDLP_SRC_UTIL_ENV_H_
+#define QDLP_SRC_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qdlp {
+
+// Returns the value of `name` parsed as double, or `fallback` when unset or
+// unparsable.
+double GetEnvDouble(const std::string& name, double fallback);
+
+// Returns the value of `name` parsed as int64, or `fallback`.
+int64_t GetEnvInt(const std::string& name, int64_t fallback);
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_UTIL_ENV_H_

@@ -1,0 +1,17 @@
+#include "src/util/random.h"
+
+#include <cmath>
+
+namespace qdlp {
+
+uint64_t Rng::NextExponential(double mean) {
+  // Inverse-CDF sampling; clamp the uniform away from 0 to keep log finite.
+  double u = NextDouble();
+  if (u < 1e-18) {
+    u = 1e-18;
+  }
+  const double x = -mean * std::log(u);
+  return x >= 0 ? static_cast<uint64_t>(x) : 0;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,87 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components in qdlp (trace generators, sampled-eviction
+// policies, benchmark workloads) draw from Rng so that every experiment is
+// reproducible from a single seed. Rng is xoshiro256**, seeded via
+// SplitMix64 so that nearby seeds give independent streams.
+
+#ifndef QDLP_SRC_UTIL_RANDOM_H_
+#define QDLP_SRC_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace qdlp {
+
+// Scrambles a 64-bit value; also usable as a hash for 64-bit keys.
+// This is the SplitMix64 finalizer (public domain, Vigna).
+constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// xoshiro256** 1.0 (public domain, Blackman & Vigna). Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9d8a7654321fedcbULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      sm += 0x9e3779b97f4a7c15ULL;
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0. Uses Lemire's multiply-shift
+  // reduction; the modulo bias is at most 2^-64 * bound and is ignored.
+  uint64_t NextBounded(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Uniform double in [lo, hi).
+  double NextRange(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Geometric-ish: exponentially distributed with the given mean, as uint64.
+  uint64_t NextExponential(double mean);
+
+  // Standard UniformRandomBitGenerator interface so Rng works with <random>
+  // and std::shuffle.
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return Next(); }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_UTIL_RANDOM_H_

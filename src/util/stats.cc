@@ -1,0 +1,75 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdlp {
+
+void StreamingStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::variance() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void PercentileSummary::AddAll(const std::vector<double>& xs) {
+  values_.insert(values_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+double PercentileSummary::Mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+double PercentileSummary::Quantile(double q) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  if (q <= 0.0) {
+    return values_.front();
+  }
+  if (q >= 1.0) {
+    return values_.back();
+  }
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) {
+    return values_.back();
+  }
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+void PercentileSummary::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+}  // namespace qdlp

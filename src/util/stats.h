@@ -1,0 +1,63 @@
+// Summary statistics used by the simulator and the benchmark harnesses.
+
+#ifndef QDLP_SRC_UTIL_STATS_H_
+#define QDLP_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qdlp {
+
+// Single-pass accumulator: count, mean, variance (Welford), min, max.
+class StreamingStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Percentile summary of a sample set. Keeps all samples; intended for the
+// per-trace result vectors in the experiment harnesses (thousands of values,
+// not billions).
+class PercentileSummary {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  void AddAll(const std::vector<double>& xs);
+
+  size_t count() const { return values_.size(); }
+  double Mean() const;
+  // q in [0, 1]; linear interpolation between closest ranks. Returns 0 for an
+  // empty summary.
+  double Quantile(double q) const;
+  double Min() const { return Quantile(0.0); }
+  double Median() const { return Quantile(0.5); }
+  double Max() const { return Quantile(1.0); }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_UTIL_STATS_H_

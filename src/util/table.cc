@@ -1,0 +1,103 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "src/util/check.h"
+
+namespace qdlp {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  QDLP_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::FmtPercent(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+  return buf;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << " " << row[i];
+      for (size_t pad = row[i].size(); pad < widths[i]; ++pad) {
+        os << ' ';
+      }
+      os << " |";
+    }
+    os << "\n";
+  };
+  auto print_rule = [&]() {
+    os << "+";
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) {
+        os << '-';
+      }
+      os << "+";
+    }
+    os << "\n";
+  };
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_rule();
+}
+
+void TablePrinter::MaybeExportCsv(const std::string& basename) const {
+  const char* dir = std::getenv("QDLP_CSV");
+  if (dir == nullptr || dir[0] == '\0') {
+    return;
+  }
+  const std::string path = std::string(dir) + "/" + basename + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[qdlp] could not write %s\n", path.c_str());
+    return;
+  }
+  WriteCsv(out);
+}
+
+void TablePrinter::WriteCsv(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        os << ",";
+      }
+      // Our cells never contain commas or quotes; keep it simple.
+      os << row[i];
+    }
+    os << "\n";
+  };
+  write_row(header_);
+  for (const auto& row : rows_) {
+    write_row(row);
+  }
+}
+
+}  // namespace qdlp

@@ -1,0 +1,42 @@
+// Plain-text table rendering and CSV output for the experiment harnesses.
+//
+// Every bench binary prints the rows of the paper table/figure it
+// regenerates; TablePrinter keeps those reports aligned and greppable, and
+// WriteCsv lets users re-plot results with external tooling.
+
+#ifndef QDLP_SRC_UTIL_TABLE_H_
+#define QDLP_SRC_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qdlp {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 4);
+  static std::string FmtPercent(double v, int precision = 1);
+
+  void Print(std::ostream& os) const;
+  // Renders the same content as comma-separated values.
+  void WriteCsv(std::ostream& os) const;
+  // When the QDLP_CSV environment variable names a directory, also writes
+  // this table to <dir>/<basename>.csv (harnesses call this after Print so
+  // results can be re-plotted externally). No-op otherwise.
+  void MaybeExportCsv(const std::string& basename) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_UTIL_TABLE_H_

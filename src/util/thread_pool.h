@@ -1,0 +1,46 @@
+// Fixed-size worker pool used by the sweep runner to replay many traces in
+// parallel. Tasks are void() closures; Wait() blocks until the queue drains.
+
+#ifndef QDLP_SRC_UTIL_THREAD_POOL_H_
+#define QDLP_SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qdlp {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+  // Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,79 @@
+#include "src/util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace qdlp {
+
+// Rejection-inversion sampling for the Zipf distribution, following
+// Hörmann & Derflinger, "Rejection-inversion to generate variates from
+// monotone discrete distributions", ACM TOMACS 1996. The same scheme is used
+// by Apache Commons Math and YCSB-style generators.
+
+ZipfSampler::ZipfSampler(uint64_t n, double skew) : n_(n), skew_(skew) {
+  QDLP_CHECK(n >= 1);
+  QDLP_CHECK(skew > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::exp(-skew_ * std::log(2.0)));
+}
+
+// H(x) = integral of 1/t^skew from 1 to x (plus a constant), extended to the
+// skew == 1 (log) case.
+double ZipfSampler::H(double x) const {
+  const double log_x = std::log(x);
+  if (std::abs(skew_ - 1.0) < 1e-12) {
+    return log_x;
+  }
+  return std::expm1((1.0 - skew_) * log_x) / (1.0 - skew_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (std::abs(skew_ - 1.0) < 1e-12) {
+    return std::exp(x);
+  }
+  return std::exp(std::log1p(x * (1.0 - skew_)) / (1.0 - skew_));
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) {
+    return 0;
+  }
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) {
+      k = 1.0;
+    } else if (k > static_cast<double>(n_)) {
+      k = static_cast<double>(n_);
+    }
+    if (k - x <= s_ || u >= H(k + 0.5) - std::exp(-skew_ * std::log(k))) {
+      // Convert 1-based rank to 0-based id.
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+ZipfTable::ZipfTable(uint64_t n, double skew) {
+  QDLP_CHECK(n >= 1);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = acc;
+  }
+  for (auto& v : cdf_) {
+    v /= acc;
+  }
+}
+
+uint64_t ZipfTable::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace qdlp

@@ -1,0 +1,60 @@
+// Zipf-distributed sampling over {0, ..., n-1}.
+//
+// Cache workloads overwhelmingly follow Zipf popularity (Breslau et al.;
+// confirmed for modern web caches by Yang et al. OSDI'20), so the trace
+// generators in src/trace lean on this sampler. Two implementations:
+//
+//  * ZipfSampler — rejection-inversion (Hörmann & Derflinger 1996), O(1) per
+//    sample independent of n, exact for any skew > 0. This is the default.
+//  * ZipfTable — cumulative-table inversion, O(log n) per sample, used as a
+//    test oracle for the rejection sampler on small n.
+//
+// Rank 0 is the most popular object. skew (alpha) is the Zipf exponent:
+// P(rank k) ∝ 1 / (k+1)^alpha.
+
+#ifndef QDLP_SRC_UTIL_ZIPF_H_
+#define QDLP_SRC_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace qdlp {
+
+class ZipfSampler {
+ public:
+  // n must be >= 1. skew must be > 0; skew == 1 is handled exactly.
+  ZipfSampler(uint64_t n, double skew);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double skew() const { return skew_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double skew_;
+  double h_x1_;        // H(1.5) - 1
+  double h_n_;         // H(n + 0.5)
+  double s_;           // 2 - HInverse(H(2.5) - 2^-skew)
+};
+
+// Exact table-based sampler; O(n) memory. Oracle for tests and fine for
+// small n in examples.
+class ZipfTable {
+ public:
+  ZipfTable(uint64_t n, double skew);
+
+  uint64_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_UTIL_ZIPF_H_

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "src/policies/arc.h"
+#include "src/policies/lru.h"
+#include "src/trace/generators.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+namespace {
+
+TEST(ArcTest, BasicHitMiss) {
+  ArcPolicy arc(4);
+  EXPECT_FALSE(arc.Access(1));
+  EXPECT_FALSE(arc.Access(2));
+  EXPECT_TRUE(arc.Access(1));  // promoted to T2
+  EXPECT_EQ(arc.t2_size(), 1u);
+  EXPECT_EQ(arc.t1_size(), 1u);
+  EXPECT_TRUE(arc.Contains(1));
+  EXPECT_TRUE(arc.Contains(2));
+}
+
+TEST(ArcTest, CapacityRespected) {
+  ArcPolicy arc(8);
+  for (ObjectId id = 0; id < 1000; ++id) {
+    arc.Access(id % 37);
+    EXPECT_LE(arc.size(), 8u);
+  }
+}
+
+TEST(ArcTest, InvariantsHoldUnderMixedWorkload) {
+  constexpr size_t kCapacity = 32;
+  ArcPolicy arc(kCapacity);
+  ZipfTraceConfig config;
+  config.num_requests = 50000;
+  config.num_objects = 400;
+  config.seed = 41;
+  const Trace trace = GenerateZipf(config);
+  for (const ObjectId id : trace.requests) {
+    arc.Access(id);
+    // FAST'03 invariants: |T1|+|T2| <= c, |T1|+|B1| <= c,
+    // |T1|+|T2|+|B1|+|B2| <= 2c, 0 <= p <= c.
+    ASSERT_LE(arc.t1_size() + arc.t2_size(), kCapacity);
+    ASSERT_LE(arc.t1_size() + arc.b1_size(), kCapacity);
+    ASSERT_LE(arc.t1_size() + arc.t2_size() + arc.b1_size() + arc.b2_size(),
+              2 * kCapacity);
+    ASSERT_GE(arc.target_p(), 0.0);
+    ASSERT_LE(arc.target_p(), static_cast<double>(kCapacity));
+  }
+  EXPECT_EQ(arc.size(), kCapacity);  // steady state: full
+}
+
+TEST(ArcTest, GhostHitAdaptsTarget) {
+  ArcPolicy arc(4);
+  // Fill T1 with 1..4, then push 5..8 so 1..4 fall into B1.
+  for (ObjectId id = 1; id <= 8; ++id) {
+    arc.Access(id);
+  }
+  // 5..8 are resident in T1; 1..4 are B1 ghosts (T1 was full, so the oldest
+  // went through replace -> B1).
+  const double p_before = arc.target_p();
+  bool ghost_was_hit = false;
+  for (ObjectId id = 1; id <= 4; ++id) {
+    if (!arc.Contains(id) && arc.b1_size() > 0) {
+      const bool hit = arc.Access(id);
+      EXPECT_FALSE(hit);  // ghost hits are still misses
+      ghost_was_hit = true;
+      break;
+    }
+  }
+  if (ghost_was_hit) {
+    EXPECT_GT(arc.target_p(), p_before);  // recency target grew
+  }
+}
+
+TEST(ArcTest, ScanResistanceBeatsLru) {
+  // A scan (one-touch stream) mixed into a stable working set: ARC must keep
+  // more of the working set than LRU does.
+  constexpr size_t kCapacity = 100;
+  ArcPolicy arc(kCapacity);
+  LruPolicy lru(kCapacity);
+  uint64_t arc_hits = 0;
+  uint64_t lru_hits = 0;
+  ObjectId scan_id = 1000000;
+  Rng rng(43);
+  for (int round = 0; round < 30000; ++round) {
+    ObjectId id;
+    if (rng.NextBool(0.5)) {
+      id = rng.NextBounded(80);  // hot working set fits in cache
+    } else {
+      id = scan_id++;  // never reused
+    }
+    arc_hits += arc.Access(id) ? 1 : 0;
+    lru_hits += lru.Access(id) ? 1 : 0;
+  }
+  EXPECT_GT(arc_hits, lru_hits);
+}
+
+TEST(ArcTest, FrequentSetRetainedAgainstRecencyFlood) {
+  ArcPolicy arc(10);
+  // Establish frequency for 0..4.
+  for (int round = 0; round < 5; ++round) {
+    for (ObjectId id = 0; id < 5; ++id) {
+      arc.Access(id);
+    }
+  }
+  // Flood with one-touch ids.
+  for (ObjectId id = 100; id < 130; ++id) {
+    arc.Access(id);
+  }
+  int retained = 0;
+  for (ObjectId id = 0; id < 5; ++id) {
+    retained += arc.Contains(id) ? 1 : 0;
+  }
+  EXPECT_GE(retained, 3);
+}
+
+}  // namespace
+}  // namespace qdlp

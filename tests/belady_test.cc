@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/policies/belady.h"
+#include "src/trace/generators.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+namespace {
+
+uint64_t ReplayMisses(BeladyPolicy& policy, const std::vector<ObjectId>& trace) {
+  uint64_t misses = 0;
+  for (const ObjectId id : trace) {
+    misses += policy.Access(id) ? 0 : 1;
+  }
+  return misses;
+}
+
+TEST(BeladyTest, EvictsFarthestFuture) {
+  // Classic example: cache of 2. Sequence: a b c a b. Optimal: evict c (or
+  // never admit it) -> 3 misses.
+  const std::vector<ObjectId> trace = {1, 2, 3, 1, 2};
+  BeladyPolicy belady(2, trace);
+  EXPECT_EQ(ReplayMisses(belady, trace), 3u);
+}
+
+TEST(BeladyTest, BypassesNeverReusedObjects) {
+  const std::vector<ObjectId> trace = {1, 2, 99, 1, 2};
+  BeladyPolicy belady(2, trace);
+  // 99 is never reused: Belady must not displace 1 or 2 for it.
+  EXPECT_EQ(ReplayMisses(belady, trace), 3u);
+  EXPECT_TRUE(belady.Contains(1));
+  EXPECT_TRUE(belady.Contains(2));
+  EXPECT_FALSE(belady.Contains(99));
+}
+
+// Exhaustive optimality oracle: brute-force minimum misses over all eviction
+// choices, for tiny traces/caches.
+uint64_t BruteForceOptimalMisses(const std::vector<ObjectId>& trace,
+                                 size_t position, std::vector<ObjectId> cache,
+                                 size_t capacity) {
+  if (position == trace.size()) {
+    return 0;
+  }
+  const ObjectId id = trace[position];
+  for (const ObjectId resident : cache) {
+    if (resident == id) {
+      return BruteForceOptimalMisses(trace, position + 1, cache, capacity);
+    }
+  }
+  // Miss. Choice: bypass, or evict any resident (if full) / just insert.
+  if (cache.size() < capacity) {
+    cache.push_back(id);
+    return 1 + BruteForceOptimalMisses(trace, position + 1, cache, capacity);
+  }
+  uint64_t best = 1 + BruteForceOptimalMisses(trace, position + 1, cache,
+                                              capacity);  // bypass
+  for (size_t i = 0; i < cache.size(); ++i) {
+    std::vector<ObjectId> next = cache;
+    next[i] = id;
+    best = std::min(
+        best, 1 + BruteForceOptimalMisses(trace, position + 1, next, capacity));
+  }
+  return best;
+}
+
+class BeladyOptimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BeladyOptimalityTest, MatchesBruteForceOnTinyTraces) {
+  Rng rng(GetParam());
+  std::vector<ObjectId> trace;
+  for (int i = 0; i < 12; ++i) {
+    trace.push_back(rng.NextBounded(5));
+  }
+  for (const size_t capacity : {1u, 2u, 3u}) {
+    BeladyPolicy belady(capacity, trace);
+    const uint64_t belady_misses = ReplayMisses(belady, trace);
+    const uint64_t optimal =
+        BruteForceOptimalMisses(trace, 0, {}, capacity);
+    EXPECT_EQ(belady_misses, optimal)
+        << "capacity " << capacity << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BeladyOptimalityTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(BeladyTest, CapacityRespected) {
+  ZipfTraceConfig config;
+  config.num_requests = 10000;
+  config.num_objects = 300;
+  config.seed = 91;
+  const Trace trace = GenerateZipf(config);
+  BeladyPolicy belady(20, trace.requests);
+  for (const ObjectId id : trace.requests) {
+    belady.Access(id);
+    ASSERT_LE(belady.size(), 20u);
+  }
+}
+
+}  // namespace
+}  // namespace qdlp

@@ -1,0 +1,273 @@
+// GhostQueue, QdCache (the paper's QD construction), QD-LP-FIFO, the
+// policy factory, S3-FIFO, and SIEVE.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/ghost_queue.h"
+#include "src/core/policy_factory.h"
+#include "src/core/qd_cache.h"
+#include "src/core/s3fifo.h"
+#include "src/core/sieve.h"
+#include "src/policies/fifo.h"
+#include "src/policies/lru.h"
+#include "src/trace/generators.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+namespace {
+
+TEST(GhostQueueTest, InsertAndConsume) {
+  GhostQueue ghost(3);
+  ghost.Insert(1);
+  EXPECT_TRUE(ghost.Contains(1));
+  EXPECT_TRUE(ghost.Consume(1));
+  EXPECT_FALSE(ghost.Contains(1));
+  EXPECT_FALSE(ghost.Consume(1));  // consumed entries are gone
+}
+
+TEST(GhostQueueTest, EvictsOldestWhenFull) {
+  GhostQueue ghost(2);
+  ghost.Insert(1);
+  ghost.Insert(2);
+  ghost.Insert(3);
+  EXPECT_FALSE(ghost.Contains(1));
+  EXPECT_TRUE(ghost.Contains(2));
+  EXPECT_TRUE(ghost.Contains(3));
+  EXPECT_EQ(ghost.size(), 2u);
+}
+
+TEST(GhostQueueTest, ReinsertRefreshesPosition) {
+  GhostQueue ghost(2);
+  ghost.Insert(1);
+  ghost.Insert(2);
+  ghost.Insert(1);  // refresh: 2 is now the oldest
+  ghost.Insert(3);
+  EXPECT_TRUE(ghost.Contains(1));
+  EXPECT_FALSE(ghost.Contains(2));
+  EXPECT_TRUE(ghost.Contains(3));
+}
+
+TEST(GhostQueueTest, SizeBoundedUnderChurn) {
+  GhostQueue ghost(10);
+  Rng rng(101);
+  for (int i = 0; i < 10000; ++i) {
+    const ObjectId id = rng.NextBounded(50);
+    if (rng.NextBool(0.3)) {
+      ghost.Consume(id);
+    } else {
+      ghost.Insert(id);
+    }
+    ASSERT_LE(ghost.size(), 10u);
+  }
+}
+
+std::unique_ptr<QdCache> MakeQdLru(size_t probation, size_t main) {
+  return std::make_unique<QdCache>(probation,
+                                   std::make_unique<LruPolicy>(main));
+}
+
+TEST(QdCacheTest, MissEntersProbation) {
+  auto qd = MakeQdLru(2, 8);
+  EXPECT_FALSE(qd->Access(1));
+  EXPECT_EQ(qd->probation_size(), 1u);
+  EXPECT_EQ(qd->main().size(), 0u);
+  EXPECT_TRUE(qd->Contains(1));
+}
+
+TEST(QdCacheTest, ProbationHitSetsBitWithoutMoving) {
+  auto qd = MakeQdLru(2, 8);
+  qd->Access(1);
+  EXPECT_TRUE(qd->Access(1));
+  EXPECT_EQ(qd->probation_size(), 1u);
+  EXPECT_EQ(qd->main().size(), 0u);  // promotion is lazy: at eviction time
+}
+
+TEST(QdCacheTest, AccessedEvicteePromotedToMain) {
+  auto qd = MakeQdLru(2, 8);
+  qd->Access(1);
+  qd->Access(1);  // mark accessed
+  qd->Access(2);
+  qd->Access(3);  // probation full (2): evicts 1 -> promoted to main
+  EXPECT_EQ(qd->promotions(), 1u);
+  EXPECT_TRUE(qd->main().Contains(1));
+  EXPECT_TRUE(qd->Contains(1));
+}
+
+TEST(QdCacheTest, UntouchedEvicteeGoesToGhost) {
+  auto qd = MakeQdLru(2, 8);
+  qd->Access(1);
+  qd->Access(2);
+  qd->Access(3);  // evicts 1 (never re-accessed) -> ghost
+  EXPECT_EQ(qd->quick_demotions(), 1u);
+  EXPECT_FALSE(qd->Contains(1));
+  EXPECT_TRUE(qd->ghost().Contains(1));
+}
+
+TEST(QdCacheTest, GhostHitAdmitsDirectlyToMain) {
+  auto qd = MakeQdLru(2, 8);
+  qd->Access(1);
+  qd->Access(2);
+  qd->Access(3);  // 1 -> ghost
+  ASSERT_TRUE(qd->ghost().Contains(1));
+  EXPECT_FALSE(qd->Access(1));  // still a miss...
+  EXPECT_TRUE(qd->main().Contains(1));  // ...but admitted straight to main
+  EXPECT_EQ(qd->ghost_admissions(), 1u);
+  EXPECT_FALSE(qd->ghost().Contains(1));  // consumed
+}
+
+TEST(QdCacheTest, TotalSizeBounded) {
+  auto qd = MakeQdLru(3, 12);
+  Rng rng(103);
+  for (int i = 0; i < 20000; ++i) {
+    qd->Access(rng.NextBounded(200));
+    ASSERT_LE(qd->size(), 15u);
+    ASSERT_LE(qd->probation_size(), 3u);
+  }
+}
+
+TEST(QdCacheTest, FiltersOneHitWonders) {
+  // One-hit wonders must never reach the main cache.
+  auto qd = MakeQdLru(5, 45);
+  for (ObjectId id = 0; id < 10000; ++id) {
+    qd->Access(id);  // every object touched exactly once
+  }
+  EXPECT_EQ(qd->main().size(), 0u);
+  EXPECT_EQ(qd->promotions(), 0u);
+  EXPECT_EQ(qd->ghost_admissions(), 0u);
+}
+
+TEST(PolicyFactoryTest, BuildsEveryKnownPolicy) {
+  ZipfTraceConfig config;
+  config.num_requests = 200;
+  config.num_objects = 50;
+  config.seed = 105;
+  const Trace trace = GenerateZipf(config);
+  for (const std::string& name : KnownPolicyNames()) {
+    auto policy = MakePolicy(name, 20, &trace.requests);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->capacity(), 20u) << name;
+  }
+}
+
+TEST(PolicyFactoryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakePolicy("no-such-policy", 10), nullptr);
+  EXPECT_EQ(MakePolicy("qd-no-such-policy", 10), nullptr);
+}
+
+TEST(PolicyFactoryTest, BeladyRequiresTrace) {
+  EXPECT_EQ(MakePolicy("belady", 10, nullptr), nullptr);
+}
+
+TEST(PolicyFactoryTest, QdSplitIsTenPercent) {
+  auto policy = MakePolicy("qd-lru", 100);
+  ASSERT_NE(policy, nullptr);
+  auto* qd = dynamic_cast<QdCache*>(policy.get());
+  ASSERT_NE(qd, nullptr);
+  EXPECT_EQ(qd->probation_capacity(), 10u);
+  EXPECT_EQ(qd->main().capacity(), 90u);
+  EXPECT_EQ(qd->name(), "qd-lru");
+}
+
+TEST(PolicyFactoryTest, QdLpFifoUsesTwoBitClockMain) {
+  auto policy = MakePolicy("qd-lp-fifo", 100);
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->name(), "qd-lp-fifo");
+  auto* qd = dynamic_cast<QdCache*>(policy.get());
+  ASSERT_NE(qd, nullptr);
+  EXPECT_EQ(qd->main().name(), "clock2");
+}
+
+TEST(S3FifoTest, BasicFlow) {
+  S3FifoPolicy s3(10);  // small = 1, main = 9
+  EXPECT_FALSE(s3.Access(1));
+  EXPECT_EQ(s3.small_size(), 1u);
+  EXPECT_TRUE(s3.Access(1));  // freq bump
+  s3.Access(2);  // small over its share -> 1 promoted to main (freq >= 1)
+  EXPECT_TRUE(s3.Contains(1));
+}
+
+TEST(S3FifoTest, OneHitWondersFiltered) {
+  S3FifoPolicy s3(50, 0.10);
+  for (ObjectId id = 0; id < 5000; ++id) {
+    s3.Access(id);
+  }
+  EXPECT_EQ(s3.main_size(), 0u);  // nothing ever proved reuse
+  EXPECT_LE(s3.size(), 50u);
+}
+
+TEST(S3FifoTest, GhostHitGoesToMain) {
+  S3FifoPolicy s3(20, 0.10);
+  s3.Access(1);
+  // Flood small queue so 1 is quick-demoted into the ghost.
+  for (ObjectId id = 100; id < 120; ++id) {
+    s3.Access(id);
+  }
+  ASSERT_FALSE(s3.Contains(1));
+  EXPECT_FALSE(s3.Access(1));  // ghost hit -> main
+  EXPECT_GT(s3.main_size(), 0u);
+  EXPECT_TRUE(s3.Contains(1));
+}
+
+TEST(S3FifoTest, CapacityRespected) {
+  S3FifoPolicy s3(16);
+  Rng rng(107);
+  for (int i = 0; i < 30000; ++i) {
+    s3.Access(rng.NextBounded(300));
+    ASSERT_LE(s3.size(), 16u);
+  }
+}
+
+TEST(SieveTest, VisitedObjectsSurviveTheHand) {
+  SievePolicy sieve(3);
+  sieve.Access(1);
+  sieve.Access(2);
+  sieve.Access(3);
+  sieve.Access(1);  // visited
+  sieve.Access(4);  // hand sweeps from tail: 1 spared, 2 evicted
+  EXPECT_TRUE(sieve.Contains(1));
+  EXPECT_FALSE(sieve.Contains(2));
+  EXPECT_TRUE(sieve.Contains(3));
+  EXPECT_TRUE(sieve.Contains(4));
+}
+
+TEST(SieveTest, HandDoesNotMoveSurvivors) {
+  // After sparing 1 the hand rests just before it (toward head); the next
+  // eviction continues from there rather than rescanning the tail.
+  SievePolicy sieve(3);
+  sieve.Access(1);
+  sieve.Access(2);
+  sieve.Access(3);
+  sieve.Access(1);  // visit 1 (tail)
+  sieve.Access(4);  // evict 2; hand now at 3
+  sieve.Access(1);  // visit 1 again — but hand is already past it
+  sieve.Access(5);  // evict 3 (hand position), not re-protected 1
+  EXPECT_TRUE(sieve.Contains(1));
+  EXPECT_FALSE(sieve.Contains(3));
+}
+
+TEST(SieveTest, CapacityRespected) {
+  SievePolicy sieve(16);
+  Rng rng(109);
+  for (int i = 0; i < 30000; ++i) {
+    sieve.Access(rng.NextBounded(300));
+    ASSERT_LE(sieve.size(), 16u);
+  }
+}
+
+TEST(SieveTest, AllVisitedWrapsAndEvicts) {
+  SievePolicy sieve(3);
+  sieve.Access(1);
+  sieve.Access(2);
+  sieve.Access(3);
+  sieve.Access(1);
+  sieve.Access(2);
+  sieve.Access(3);  // all visited
+  sieve.Access(4);  // must clear bits and evict someone
+  EXPECT_EQ(sieve.size(), 3u);
+  EXPECT_TRUE(sieve.Contains(4));
+}
+
+}  // namespace
+}  // namespace qdlp

@@ -1,0 +1,69 @@
+// Environment knobs and the CSV export path of TablePrinter.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/env.h"
+#include "src/util/table.h"
+
+namespace qdlp {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("QDLP_TEST_KNOB");
+    unsetenv("QDLP_CSV");
+  }
+};
+
+TEST_F(EnvTest, DoubleFallbackWhenUnset) {
+  unsetenv("QDLP_TEST_KNOB");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("QDLP_TEST_KNOB", 2.5), 2.5);
+}
+
+TEST_F(EnvTest, DoubleParsesValue) {
+  setenv("QDLP_TEST_KNOB", "0.125", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("QDLP_TEST_KNOB", 2.5), 0.125);
+}
+
+TEST_F(EnvTest, DoubleFallbackOnGarbage) {
+  setenv("QDLP_TEST_KNOB", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("QDLP_TEST_KNOB", 2.5), 2.5);
+}
+
+TEST_F(EnvTest, IntParsesAndFallsBack) {
+  setenv("QDLP_TEST_KNOB", "42", 1);
+  EXPECT_EQ(GetEnvInt("QDLP_TEST_KNOB", 7), 42);
+  setenv("QDLP_TEST_KNOB", "xyz", 1);
+  EXPECT_EQ(GetEnvInt("QDLP_TEST_KNOB", 7), 7);
+  unsetenv("QDLP_TEST_KNOB");
+  EXPECT_EQ(GetEnvInt("QDLP_TEST_KNOB", 7), 7);
+}
+
+TEST_F(EnvTest, CsvExportWritesWhenEnvSet) {
+  const std::string dir = ::testing::TempDir();
+  setenv("QDLP_CSV", dir.c_str(), 1);
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.MaybeExportCsv("env_table_test_export");
+  std::ifstream in(dir + "/env_table_test_export.csv");
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "a,b\n1,2\n");
+}
+
+TEST_F(EnvTest, CsvExportNoopWhenUnset) {
+  unsetenv("QDLP_CSV");
+  TablePrinter table({"a"});
+  table.AddRow({"1"});
+  table.MaybeExportCsv("should_not_exist_anywhere");  // must not crash
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace qdlp

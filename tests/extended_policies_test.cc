@@ -1,0 +1,385 @@
+// CAR, MQ, LRU-K, W-TinyLFU, relaxed-promotion LRU variants, and the ARC
+// adaptation knobs.
+
+#include <gtest/gtest.h>
+
+#include "src/policies/arc.h"
+#include "src/policies/car.h"
+#include "src/policies/lazy_lru.h"
+#include "src/policies/lru.h"
+#include "src/policies/lruk.h"
+#include "src/policies/mq.h"
+#include "src/policies/wtinylfu.h"
+#include "src/trace/generators.h"
+#include "src/util/random.h"
+#include "src/util/zipf.h"
+
+namespace qdlp {
+namespace {
+
+// ---------- CAR ----------
+
+TEST(CarTest, BasicHitMiss) {
+  CarPolicy car(4);
+  EXPECT_FALSE(car.Access(1));
+  EXPECT_TRUE(car.Access(1));
+  EXPECT_TRUE(car.Contains(1));
+}
+
+TEST(CarTest, InvariantsUnderMixedWorkload) {
+  constexpr size_t kCapacity = 32;
+  CarPolicy car(kCapacity);
+  ZipfTraceConfig config;
+  config.num_requests = 40000;
+  config.num_objects = 400;
+  config.seed = 501;
+  const Trace trace = GenerateZipf(config);
+  for (const ObjectId id : trace.requests) {
+    car.Access(id);
+    // FAST'04 invariants (II'-IV'): |T1|+|T2| <= c, |T1|+|B1| <= c,
+    // |T2|+|B2| <= 2c, total directory <= 2c.
+    ASSERT_LE(car.t1_size() + car.t2_size(), kCapacity);
+    ASSERT_LE(car.t1_size() + car.b1_size(), kCapacity);
+    ASSERT_LE(car.t2_size() + car.b2_size(), 2 * kCapacity);
+    ASSERT_LE(car.t1_size() + car.t2_size() + car.b1_size() + car.b2_size(),
+              2 * kCapacity);
+    ASSERT_GE(car.target_p(), 0.0);
+    ASSERT_LE(car.target_p(), static_cast<double>(kCapacity));
+  }
+  EXPECT_EQ(car.size(), kCapacity);
+}
+
+TEST(CarTest, ReferencedPagesGraduateToT2) {
+  CarPolicy car(4);
+  car.Access(1);
+  car.Access(1);  // ref bit set in T1
+  car.Access(2);
+  car.Access(3);
+  car.Access(4);
+  EXPECT_EQ(car.t2_size(), 0u);  // graduation happens lazily, at replacement
+  car.Access(5);                 // forces Replace(): 1 moves to T2, 2 evicted
+  EXPECT_TRUE(car.Contains(1));
+  EXPECT_FALSE(car.Contains(2));
+  EXPECT_GE(car.t2_size(), 1u);
+}
+
+TEST(CarTest, ScanResistanceLikeArc) {
+  constexpr size_t kCapacity = 100;
+  CarPolicy car(kCapacity);
+  LruPolicy lru(kCapacity);
+  Rng rng(503);
+  ObjectId scan_id = 1u << 21;
+  uint64_t car_hits = 0;
+  uint64_t lru_hits = 0;
+  for (int i = 0; i < 40000; ++i) {
+    const ObjectId id =
+        rng.NextBool(0.5) ? rng.NextBounded(80) : scan_id++;
+    car_hits += car.Access(id) ? 1 : 0;
+    lru_hits += lru.Access(id) ? 1 : 0;
+  }
+  EXPECT_GT(car_hits, lru_hits);
+}
+
+// ---------- MQ ----------
+
+TEST(MqTest, BasicHitMissAndCapacity) {
+  MqPolicy mq(8);
+  EXPECT_FALSE(mq.Access(1));
+  EXPECT_TRUE(mq.Access(1));
+  for (ObjectId id = 0; id < 500; ++id) {
+    mq.Access(id % 61);
+    ASSERT_LE(mq.size(), 8u);
+  }
+}
+
+TEST(MqTest, FrequentObjectsClimbLevels) {
+  MqPolicy mq(16);
+  for (int i = 0; i < 8; ++i) {
+    mq.Access(1);  // frequency 8 -> level 3
+  }
+  mq.Access(2);  // frequency 1 -> level 0
+  EXPECT_GE(mq.queue_size(3), 1u);
+  EXPECT_GE(mq.queue_size(0), 1u);
+}
+
+TEST(MqTest, EvictsFromLowestLevelFirst) {
+  MqPolicy mq(3);
+  mq.Access(1);
+  mq.Access(1);  // level 1
+  mq.Access(2);
+  mq.Access(2);  // level 1
+  mq.Access(3);  // level 0
+  mq.Access(4);  // evicts 3 (lowest level LRU), not the frequent ones
+  EXPECT_TRUE(mq.Contains(1));
+  EXPECT_TRUE(mq.Contains(2));
+  EXPECT_FALSE(mq.Contains(3));
+}
+
+TEST(MqTest, GhostRemembersFrequency) {
+  MqPolicy mq(3, 8, /*lifetime=*/1000000, /*ghost_factor=*/4.0);
+  for (int i = 0; i < 8; ++i) {
+    mq.Access(1);
+  }
+  // Evict 1 by filling with fresh objects (1 is high level; fill pushes
+  // low-level objects first, so force enough churn).
+  for (ObjectId id = 10; id < 14; ++id) {
+    mq.Access(id);
+  }
+  if (!mq.Contains(1)) {
+    EXPECT_GT(mq.ghost_size(), 0u);
+    mq.Access(1);  // readmission with remembered frequency -> high level
+    EXPECT_GE(mq.queue_size(3), 1u);
+  }
+}
+
+TEST(MqTest, ExpiredBlocksDemote) {
+  MqPolicy mq(4, 8, /*lifetime=*/10);
+  for (int i = 0; i < 8; ++i) {
+    mq.Access(1);  // level 3
+  }
+  // 50 accesses to other objects age object 1 well past its lifetime.
+  for (int i = 0; i < 50; ++i) {
+    mq.Access(2 + static_cast<ObjectId>(i % 3));
+  }
+  EXPECT_EQ(mq.queue_size(3), 0u);  // demoted below its original level
+  EXPECT_TRUE(mq.Contains(1));      // but still resident
+}
+
+// ---------- LRU-K ----------
+
+TEST(LruKTest, BasicHitMissAndCapacity) {
+  LruKPolicy lruk(8, 2);
+  EXPECT_FALSE(lruk.Access(1));
+  EXPECT_TRUE(lruk.Access(1));
+  for (ObjectId id = 0; id < 500; ++id) {
+    lruk.Access(id % 61);
+    ASSERT_LE(lruk.size(), 8u);
+  }
+}
+
+TEST(LruKTest, SingleReferenceObjectsEvictedBeforeTwiceReferenced) {
+  LruKPolicy lruk(3, 2);
+  lruk.Access(1);
+  lruk.Access(1);  // 1 has 2 references
+  lruk.Access(2);
+  lruk.Access(2);  // 2 has 2 references
+  lruk.Access(3);  // 3 has 1 reference
+  lruk.Access(4);  // must evict 3 (infinite backward K-distance)
+  EXPECT_TRUE(lruk.Contains(1));
+  EXPECT_TRUE(lruk.Contains(2));
+  EXPECT_FALSE(lruk.Contains(3));
+}
+
+TEST(LruKTest, EvictsOldestKthAccess) {
+  LruKPolicy lruk(2, 2);
+  lruk.Access(1);  // t=1
+  lruk.Access(1);  // t=2 -> 1's 2nd-most-recent = 1
+  lruk.Access(2);  // t=3
+  lruk.Access(2);  // t=4 -> 2's 2nd-most-recent = 3
+  lruk.Access(1);  // t=5 -> 1's last two accesses are {2, 5}
+  // Backward K-distance compares the 2nd-most-recent access: 1's is t=2,
+  // 2's is t=3. Object 1 has the older one, so it is the victim even though
+  // it was touched most recently.
+  lruk.Access(7);
+  EXPECT_FALSE(lruk.Contains(1));
+  EXPECT_TRUE(lruk.Contains(2));
+}
+
+TEST(LruKTest, RetainedHistorySurvivesEviction) {
+  LruKPolicy lruk(2, 2, /*history_factor=*/4.0);
+  lruk.Access(1);
+  lruk.Access(1);
+  lruk.Access(1);  // well-referenced
+  lruk.Access(2);
+  lruk.Access(3);  // evicts someone; histories retained
+  lruk.Access(4);
+  // Re-access of 1: its history gives it two+ references immediately, so it
+  // should outlast a fresh single-touch object.
+  lruk.Access(1);
+  lruk.Access(5);
+  EXPECT_TRUE(lruk.Contains(1));
+}
+
+// ---------- W-TinyLFU ----------
+
+TEST(WTinyLfuTest, BasicHitMissAndCapacity) {
+  WTinyLfuPolicy cache(64);
+  EXPECT_FALSE(cache.Access(1));
+  EXPECT_TRUE(cache.Access(1));
+  for (ObjectId id = 0; id < 5000; ++id) {
+    cache.Access(id % 611);
+    ASSERT_LE(cache.size(), 64u);
+  }
+}
+
+TEST(WTinyLfuTest, OneHitWondersRejectedAtAdmission) {
+  WTinyLfuPolicy cache(100);
+  // Build a frequent working set.
+  for (int round = 0; round < 20; ++round) {
+    for (ObjectId id = 0; id < 50; ++id) {
+      cache.Access(id);
+    }
+  }
+  const uint64_t rejections_before = cache.rejections();
+  // One-touch flood: candidates with sketch frequency ~1 dueling against
+  // established probation victims.
+  for (ObjectId id = 100000; id < 101000; ++id) {
+    cache.Access(id);
+  }
+  EXPECT_GT(cache.rejections(), rejections_before);
+  // The hot set survives.
+  int retained = 0;
+  for (ObjectId id = 0; id < 50; ++id) {
+    retained += cache.Contains(id) ? 1 : 0;
+  }
+  EXPECT_GE(retained, 45);
+}
+
+TEST(WTinyLfuTest, AdmissionAsQuickDemotion) {
+  // §5: TinyLFU-style admission is a (more aggressive) form of QD. On a
+  // stationary working set polluted by one-hit wonders, rejecting the
+  // wonders at admission must beat plain LRU, which lets them churn the
+  // whole queue.
+  Rng rng(505);
+  ZipfSampler zipf(2000, 1.0);
+  constexpr size_t kCacheSize = 500;
+  WTinyLfuPolicy wtlfu(kCacheSize);
+  LruPolicy lru(kCacheSize);
+  uint64_t wtlfu_hits = 0;
+  uint64_t lru_hits = 0;
+  ObjectId wonder = 1u << 26;
+  for (int i = 0; i < 100000; ++i) {
+    const ObjectId id = rng.NextBool(0.5) ? zipf.Sample(rng) : wonder++;
+    wtlfu_hits += wtlfu.Access(id) ? 1 : 0;
+    lru_hits += lru.Access(id) ? 1 : 0;
+  }
+  EXPECT_GT(wtlfu_hits, lru_hits);
+}
+
+TEST(WTinyLfuTest, TooAggressiveUnderPopularityDecay) {
+  // The flip side §5 warns about: under strong popularity decay, newly-hot
+  // objects carry low sketch frequency and keep losing the admission duel
+  // to stale-but-frequent incumbents, so LRU (pure recency) wins. This
+  // pins the behaviour so the trade-off stays visible.
+  PopularityDecayConfig config;
+  config.num_requests = 60000;
+  config.one_hit_wonder_fraction = 0.3;
+  config.seed = 505;
+  const Trace trace = GeneratePopularityDecay(config);
+  const size_t cache_size = trace.num_objects / 20;
+  WTinyLfuPolicy wtlfu(cache_size);
+  LruPolicy lru(cache_size);
+  uint64_t wtlfu_hits = 0;
+  uint64_t lru_hits = 0;
+  for (const ObjectId id : trace.requests) {
+    wtlfu_hits += wtlfu.Access(id) ? 1 : 0;
+    lru_hits += lru.Access(id) ? 1 : 0;
+  }
+  EXPECT_LT(wtlfu_hits, lru_hits);
+}
+
+// ---------- relaxed-promotion LRU variants ----------
+
+TEST(BatchedLruTest, MatchesLruCloselyOnZipf) {
+  ZipfTraceConfig config;
+  config.num_requests = 30000;
+  config.num_objects = 500;
+  config.seed = 507;
+  const Trace trace = GenerateZipf(config);
+  constexpr size_t kCapacity = 100;
+  BatchedPromotionLru batched(kCapacity, 64);
+  LruPolicy lru(kCapacity);
+  uint64_t batched_hits = 0;
+  uint64_t lru_hits = 0;
+  for (const ObjectId id : trace.requests) {
+    batched_hits += batched.Access(id) ? 1 : 0;
+    lru_hits += lru.Access(id) ? 1 : 0;
+  }
+  // Batched promotion should track LRU within a few percent.
+  EXPECT_GT(static_cast<double>(batched_hits),
+            0.95 * static_cast<double>(lru_hits));
+}
+
+TEST(BatchedLruTest, BatchOfOneIsExactlyLru) {
+  ZipfTraceConfig config;
+  config.num_requests = 10000;
+  config.num_objects = 300;
+  config.seed = 509;
+  const Trace trace = GenerateZipf(config);
+  BatchedPromotionLru batched(50, 1);
+  LruPolicy lru(50);
+  for (const ObjectId id : trace.requests) {
+    ASSERT_EQ(batched.Access(id), lru.Access(id));
+  }
+}
+
+TEST(PromoteOldOnlyTest, SkipsFreshPromotions) {
+  PromoteOldOnlyLru cache(100, 0.5);  // promote only if idle >= 50 requests
+  cache.Access(1);
+  cache.Access(1);  // immediately re-hit: promotion skipped
+  EXPECT_EQ(cache.promotions_performed(), 0u);
+  EXPECT_EQ(cache.promotions_skipped(), 1u);
+}
+
+TEST(PromoteOldOnlyTest, MatchesLruCloselyOnZipf) {
+  ZipfTraceConfig config;
+  config.num_requests = 30000;
+  config.num_objects = 500;
+  config.seed = 511;
+  const Trace trace = GenerateZipf(config);
+  constexpr size_t kCapacity = 100;
+  PromoteOldOnlyLru lazy(kCapacity, 0.3);
+  LruPolicy lru(kCapacity);
+  uint64_t lazy_hits = 0;
+  uint64_t lru_hits = 0;
+  for (const ObjectId id : trace.requests) {
+    lazy_hits += lazy.Access(id) ? 1 : 0;
+    lru_hits += lru.Access(id) ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(lazy_hits),
+            0.95 * static_cast<double>(lru_hits));
+}
+
+// ---------- ARC adaptation knobs ----------
+
+TEST(ArcVariantsTest, NamesReflectConfiguration) {
+  EXPECT_EQ(ArcPolicy(10).name(), "arc");
+  EXPECT_EQ(ArcPolicy(10, 0.25).name(), "arc-slow");
+  EXPECT_EQ(ArcPolicy(10, 1.0, 0.1).name(), "arc-fixed");
+}
+
+TEST(ArcVariantsTest, FixedPNeverMoves) {
+  ArcPolicy arc(20, 1.0, 0.25);
+  const double p0 = arc.target_p();
+  Rng rng(513);
+  for (int i = 0; i < 20000; ++i) {
+    arc.Access(rng.NextBounded(200));
+  }
+  EXPECT_DOUBLE_EQ(arc.target_p(), p0);
+}
+
+TEST(ArcVariantsTest, SlowAdaptationMovesLess) {
+  ZipfTraceConfig config;
+  config.num_requests = 30000;
+  config.num_objects = 600;
+  config.seed = 515;
+  const Trace trace = GenerateZipf(config);
+  ArcPolicy fast(50);
+  ArcPolicy slow(50, 0.25);
+  double fast_total = 0.0;
+  double slow_total = 0.0;
+  double fast_prev = 0.0;
+  double slow_prev = 0.0;
+  for (const ObjectId id : trace.requests) {
+    fast.Access(id);
+    slow.Access(id);
+    fast_total += std::abs(fast.target_p() - fast_prev);
+    slow_total += std::abs(slow.target_p() - slow_prev);
+    fast_prev = fast.target_p();
+    slow_prev = slow.target_p();
+  }
+  EXPECT_LT(slow_total, fast_total);
+}
+
+}  // namespace
+}  // namespace qdlp

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "src/policies/lirs.h"
+#include "src/policies/lru.h"
+#include "src/trace/generators.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+namespace {
+
+TEST(LirsTest, BasicWarmupAndHits) {
+  LirsPolicy lirs(10);
+  for (ObjectId id = 0; id < 10; ++id) {
+    EXPECT_FALSE(lirs.Access(id));
+  }
+  EXPECT_EQ(lirs.size(), 10u);
+  for (ObjectId id = 0; id < 10; ++id) {
+    EXPECT_TRUE(lirs.Access(id)) << id;
+  }
+}
+
+TEST(LirsTest, CapacityRespected) {
+  LirsPolicy lirs(16);
+  ZipfTraceConfig config;
+  config.num_requests = 30000;
+  config.num_objects = 500;
+  config.seed = 51;
+  const Trace trace = GenerateZipf(config);
+  for (const ObjectId id : trace.requests) {
+    lirs.Access(id);
+    ASSERT_LE(lirs.size(), 16u);
+  }
+  EXPECT_EQ(lirs.size(), 16u);
+}
+
+TEST(LirsTest, StackBottomAlwaysLir) {
+  LirsPolicy lirs(20);
+  ZipfTraceConfig config;
+  config.num_requests = 20000;
+  config.num_objects = 300;
+  config.seed = 53;
+  const Trace trace = GenerateZipf(config);
+  for (const ObjectId id : trace.requests) {
+    lirs.Access(id);
+    ASSERT_TRUE(lirs.StackBottomIsLir());
+  }
+}
+
+TEST(LirsTest, LirCountBounded) {
+  LirsPolicy lirs(50);
+  ScanLoopConfig config;
+  config.num_requests = 30000;
+  config.hot_objects = 200;
+  config.seed = 55;
+  const Trace trace = GenerateScanLoop(config);
+  for (const ObjectId id : trace.requests) {
+    lirs.Access(id);
+    ASSERT_LE(lirs.lir_count(), 50u);
+  }
+}
+
+TEST(LirsTest, HirPromotionOnQuickReuse) {
+  // Capacity 10 -> 9 LIR + 1 HIR (1% floor). Warm LIR with 0..8, then a new
+  // block touched twice in quick succession must displace a stale LIR block
+  // eventually.
+  LirsPolicy lirs(10);
+  for (ObjectId id = 0; id < 9; ++id) {
+    lirs.Access(id);
+  }
+  // 100 is admitted as resident HIR (LIR set full after warmup completes).
+  lirs.Access(100);
+  EXPECT_TRUE(lirs.Contains(100));
+  // Re-access while still in stack S: upgraded to LIR.
+  EXPECT_TRUE(lirs.Access(100));
+  // It should survive a burst of one-touch insertions (they churn the HIR
+  // queue, not the LIR set).
+  for (ObjectId id = 200; id < 230; ++id) {
+    lirs.Access(id);
+  }
+  EXPECT_TRUE(lirs.Contains(100));
+}
+
+TEST(LirsTest, OneTouchStreamDoesNotDisplaceLirSet) {
+  LirsPolicy lirs(20);
+  // Build a LIR working set with repeated accesses.
+  for (int round = 0; round < 3; ++round) {
+    for (ObjectId id = 0; id < 15; ++id) {
+      lirs.Access(id);
+    }
+  }
+  // Scan: 500 one-touch blocks.
+  for (ObjectId id = 1000; id < 1500; ++id) {
+    lirs.Access(id);
+  }
+  int retained = 0;
+  for (ObjectId id = 0; id < 15; ++id) {
+    retained += lirs.Contains(id) ? 1 : 0;
+  }
+  // LIRS is scan-resistant: the LIR set survives the scan.
+  EXPECT_GE(retained, 14);
+}
+
+TEST(LirsTest, ScanResistanceBeatsLru) {
+  constexpr size_t kCapacity = 100;
+  LirsPolicy lirs(kCapacity);
+  LruPolicy lru(kCapacity);
+  uint64_t lirs_hits = 0;
+  uint64_t lru_hits = 0;
+  Rng rng(57);
+  ObjectId scan_id = 1u << 20;
+  for (int i = 0; i < 40000; ++i) {
+    ObjectId id;
+    if (rng.NextBool(0.5)) {
+      id = rng.NextBounded(80);
+    } else {
+      id = scan_id++;
+    }
+    lirs_hits += lirs.Access(id) ? 1 : 0;
+    lru_hits += lru.Access(id) ? 1 : 0;
+  }
+  EXPECT_GT(lirs_hits, lru_hits);
+}
+
+TEST(LirsTest, NonResidentMetadataBounded) {
+  // Default bound: 3x capacity of non-resident entries. Stack size is then
+  // bounded by residents + non-residents.
+  constexpr size_t kCapacity = 30;
+  LirsPolicy lirs(kCapacity, 0.01, 3.0);
+  for (ObjectId id = 0; id < 100000; ++id) {
+    lirs.Access(id);  // pure one-touch flood
+    ASSERT_LE(lirs.stack_size(), kCapacity * 4 + 2);
+  }
+}
+
+}  // namespace
+}  // namespace qdlp

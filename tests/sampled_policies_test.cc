@@ -1,0 +1,116 @@
+// LHD and Hyperbolic (sampled-eviction policies).
+
+#include <gtest/gtest.h>
+
+#include "src/policies/hyperbolic.h"
+#include "src/policies/lhd.h"
+#include "src/policies/lru.h"
+#include "src/trace/generators.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+namespace {
+
+TEST(LhdTest, BasicHitMissAndCapacity) {
+  LhdPolicy lhd(8);
+  EXPECT_FALSE(lhd.Access(1));
+  EXPECT_TRUE(lhd.Access(1));
+  for (ObjectId id = 0; id < 500; ++id) {
+    lhd.Access(id % 61);
+    ASSERT_LE(lhd.size(), 8u);
+  }
+  EXPECT_EQ(lhd.size(), 8u);
+}
+
+TEST(LhdTest, DeterministicForSeed) {
+  const auto run = [] {
+    LhdPolicy lhd(32);
+    ZipfTraceConfig config;
+    config.num_requests = 10000;
+    config.num_objects = 300;
+    config.seed = 73;
+    const Trace trace = GenerateZipf(config);
+    uint64_t hits = 0;
+    for (const ObjectId id : trace.requests) {
+      hits += lhd.Access(id) ? 1 : 0;
+    }
+    return hits;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(LhdTest, PrefersHotObjectsOverScan) {
+  // LHD's hit-density estimate should starve one-touch scan objects.
+  LhdPolicy lhd(100);
+  LruPolicy lru(100);
+  Rng rng(75);
+  ObjectId scan_id = 1u << 22;
+  uint64_t lhd_hits = 0;
+  uint64_t lru_hits = 0;
+  for (int i = 0; i < 60000; ++i) {
+    ObjectId id;
+    if (rng.NextBool(0.5)) {
+      id = rng.NextBounded(80);
+    } else {
+      id = scan_id++;
+    }
+    lhd_hits += lhd.Access(id) ? 1 : 0;
+    lru_hits += lru.Access(id) ? 1 : 0;
+  }
+  EXPECT_GT(lhd_hits, lru_hits);
+}
+
+TEST(HyperbolicTest, BasicHitMissAndCapacity) {
+  HyperbolicPolicy hyperbolic(8);
+  EXPECT_FALSE(hyperbolic.Access(1));
+  EXPECT_TRUE(hyperbolic.Access(1));
+  for (ObjectId id = 0; id < 500; ++id) {
+    hyperbolic.Access(id % 61);
+    ASSERT_LE(hyperbolic.size(), 8u);
+  }
+}
+
+TEST(HyperbolicTest, EvictsLowFrequencyYoungObjectsFirst) {
+  HyperbolicPolicy hyperbolic(10, /*seed=*/1, /*sample_size=*/64);
+  // Hot objects 0..7 accessed many times.
+  for (int round = 0; round < 20; ++round) {
+    for (ObjectId id = 0; id < 8; ++id) {
+      hyperbolic.Access(id);
+    }
+  }
+  // Churn interleaved with continued hot traffic: the hot objects' n/age
+  // priority stays high while each churn object decays after insertion.
+  ObjectId churn = 100;
+  for (int round = 0; round < 40; ++round) {
+    hyperbolic.Access(churn++);
+    for (ObjectId id = 0; id < 8; ++id) {
+      hyperbolic.Access(id);
+    }
+  }
+  int retained = 0;
+  for (ObjectId id = 0; id < 8; ++id) {
+    retained += hyperbolic.Contains(id) ? 1 : 0;
+  }
+  EXPECT_GE(retained, 6);
+}
+
+TEST(HyperbolicTest, FullSamplingFindsGlobalMinimum) {
+  // sample_size >= capacity means exact lowest-priority eviction.
+  HyperbolicPolicy hyperbolic(4, /*seed=*/1, /*sample_size=*/64);
+  hyperbolic.Access(1);
+  hyperbolic.Access(1);
+  hyperbolic.Access(1);
+  hyperbolic.Access(2);
+  hyperbolic.Access(2);
+  hyperbolic.Access(3);
+  hyperbolic.Access(3);
+  hyperbolic.Access(4);
+  hyperbolic.Access(4);
+  // Priorities now: 1 -> 3/t, others ~2/t; 5 inserted evicts the minimum,
+  // which cannot be object 1.
+  hyperbolic.Access(5);
+  EXPECT_TRUE(hyperbolic.Contains(1));
+}
+
+}  // namespace
+}  // namespace qdlp

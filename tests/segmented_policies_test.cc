@@ -1,0 +1,174 @@
+// SLRU, 2Q, LFU, Random.
+
+#include <gtest/gtest.h>
+
+#include "src/policies/lfu.h"
+#include "src/policies/random_policy.h"
+#include "src/policies/slru.h"
+#include "src/policies/twoq.h"
+#include "src/trace/generators.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+namespace {
+
+TEST(SlruTest, NewObjectsEnterProbation) {
+  SlruPolicy slru(10, 0.5);
+  slru.Access(1);
+  EXPECT_EQ(slru.probation_size(), 1u);
+  EXPECT_EQ(slru.protected_size(), 0u);
+}
+
+TEST(SlruTest, HitPromotesToProtected) {
+  SlruPolicy slru(10, 0.5);
+  slru.Access(1);
+  EXPECT_TRUE(slru.Access(1));
+  EXPECT_EQ(slru.protected_size(), 1u);
+  EXPECT_EQ(slru.probation_size(), 0u);
+}
+
+TEST(SlruTest, OneTouchObjectsEvictedBeforePromoted) {
+  SlruPolicy slru(10, 0.5);
+  // 1 and 2 are promoted.
+  slru.Access(1);
+  slru.Access(1);
+  slru.Access(2);
+  slru.Access(2);
+  // Flood with one-touch ids; promoted objects survive.
+  for (ObjectId id = 100; id < 200; ++id) {
+    slru.Access(id);
+  }
+  EXPECT_TRUE(slru.Contains(1));
+  EXPECT_TRUE(slru.Contains(2));
+}
+
+TEST(SlruTest, ProtectedOverflowDemotes) {
+  SlruPolicy slru(4, 0.5);  // protected capacity = 2
+  for (ObjectId id = 1; id <= 3; ++id) {
+    slru.Access(id);
+    slru.Access(id);  // promote each
+  }
+  EXPECT_LE(slru.protected_size(), 2u);
+  EXPECT_EQ(slru.size(), 3u);  // nothing lost, just demoted
+}
+
+TEST(SlruTest, CapacityRespected) {
+  SlruPolicy slru(16);
+  ZipfTraceConfig config;
+  config.num_requests = 20000;
+  config.num_objects = 500;
+  config.seed = 81;
+  const Trace trace = GenerateZipf(config);
+  for (const ObjectId id : trace.requests) {
+    slru.Access(id);
+    ASSERT_LE(slru.size(), 16u);
+  }
+}
+
+TEST(TwoQTest, MissGoesToA1In) {
+  TwoQPolicy twoq(20);
+  twoq.Access(1);
+  EXPECT_EQ(twoq.a1in_size(), 1u);
+  EXPECT_EQ(twoq.am_size(), 0u);
+}
+
+TEST(TwoQTest, A1InHitDoesNotPromote) {
+  TwoQPolicy twoq(20);
+  twoq.Access(1);
+  EXPECT_TRUE(twoq.Access(1));  // correlated reference
+  EXPECT_EQ(twoq.a1in_size(), 1u);
+  EXPECT_EQ(twoq.am_size(), 0u);
+}
+
+TEST(TwoQTest, GhostHitPromotesToAm) {
+  TwoQPolicy twoq(8, 0.25, 0.5);  // kin = 2
+  twoq.Access(1);
+  // Fill the cache, then force reclaims so 1 falls out of A1in into the
+  // ghost (reclaims only start once all 8 slots are resident).
+  for (ObjectId id = 2; id <= 11; ++id) {
+    twoq.Access(id);
+  }
+  ASSERT_FALSE(twoq.Contains(1));
+  ASSERT_TRUE(twoq.InGhost(1));
+  EXPECT_FALSE(twoq.Access(1));  // ghost hit is still a miss
+  EXPECT_FALSE(twoq.InGhost(1));
+  EXPECT_GT(twoq.am_size(), 0u);
+  EXPECT_TRUE(twoq.Contains(1));
+}
+
+TEST(TwoQTest, CapacityRespected) {
+  TwoQPolicy twoq(16);
+  ZipfTraceConfig config;
+  config.num_requests = 20000;
+  config.num_objects = 400;
+  config.seed = 83;
+  const Trace trace = GenerateZipf(config);
+  for (const ObjectId id : trace.requests) {
+    twoq.Access(id);
+    ASSERT_LE(twoq.size(), 16u);
+  }
+}
+
+TEST(LfuTest, EvictsLowestFrequency) {
+  LfuPolicy lfu(3);
+  lfu.Access(1);
+  lfu.Access(1);
+  lfu.Access(2);
+  lfu.Access(2);
+  lfu.Access(3);          // freq 1
+  EXPECT_FALSE(lfu.Access(4));  // evicts 3
+  EXPECT_FALSE(lfu.Contains(3));
+  EXPECT_TRUE(lfu.Contains(1));
+  EXPECT_TRUE(lfu.Contains(2));
+}
+
+TEST(LfuTest, TieBreaksByRecency) {
+  LfuPolicy lfu(3);
+  lfu.Access(1);
+  lfu.Access(2);
+  lfu.Access(3);
+  // All freq 1; least recently used among them is 1.
+  lfu.Access(4);
+  EXPECT_FALSE(lfu.Contains(1));
+  EXPECT_TRUE(lfu.Contains(2));
+}
+
+TEST(LfuTest, FrequencyTracked) {
+  LfuPolicy lfu(4);
+  lfu.Access(1);
+  lfu.Access(1);
+  lfu.Access(1);
+  EXPECT_EQ(lfu.FrequencyOf(1), 3u);
+  EXPECT_EQ(lfu.FrequencyOf(2), 0u);
+}
+
+TEST(LfuTest, CapacityRespected) {
+  LfuPolicy lfu(16);
+  ZipfTraceConfig config;
+  config.num_requests = 20000;
+  config.num_objects = 400;
+  config.seed = 85;
+  const Trace trace = GenerateZipf(config);
+  for (const ObjectId id : trace.requests) {
+    lfu.Access(id);
+    ASSERT_LE(lfu.size(), 16u);
+  }
+}
+
+TEST(RandomTest, CapacityAndMembership) {
+  RandomPolicy random(8);
+  for (ObjectId id = 0; id < 100; ++id) {
+    random.Access(id);
+    ASSERT_LE(random.size(), 8u);
+    ASSERT_TRUE(random.Contains(id));  // just-inserted is resident
+  }
+}
+
+TEST(RandomTest, HitsOnResidentObjects) {
+  RandomPolicy random(8);
+  random.Access(1);
+  EXPECT_TRUE(random.Access(1));
+}
+
+}  // namespace
+}  // namespace qdlp

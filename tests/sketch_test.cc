@@ -1,0 +1,114 @@
+// BloomFilter and CountMinSketch (the TinyLFU substrates).
+
+#include <gtest/gtest.h>
+
+#include "src/util/bloom_filter.h"
+#include "src/util/count_min_sketch.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(1000);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    filter.Insert(key * 7919);
+  }
+  for (uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_TRUE(filter.MayContain(key * 7919)) << key;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateBounded) {
+  BloomFilter filter(10000);
+  for (uint64_t key = 0; key < 10000; ++key) {
+    filter.Insert(key);
+  }
+  int false_positives = 0;
+  constexpr int kProbes = 20000;
+  for (uint64_t key = 1000000; key < 1000000 + kProbes; ++key) {
+    false_positives += filter.MayContain(key) ? 1 : 0;
+  }
+  // Sized for ~3%; allow generous slack.
+  EXPECT_LT(static_cast<double>(false_positives) / kProbes, 0.10);
+}
+
+TEST(BloomFilterTest, ClearResets) {
+  BloomFilter filter(100);
+  filter.Insert(42);
+  ASSERT_TRUE(filter.MayContain(42));
+  filter.Clear();
+  EXPECT_FALSE(filter.MayContain(42));
+  EXPECT_EQ(filter.inserted(), 0u);
+}
+
+TEST(BloomFilterTest, EmptyContainsNothing) {
+  BloomFilter filter(100);
+  int hits = 0;
+  for (uint64_t key = 0; key < 1000; ++key) {
+    hits += filter.MayContain(key) ? 1 : 0;
+  }
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(CountMinSketchTest, NeverUndercountsWithinWindow) {
+  CountMinSketch sketch(1000, /*sample_factor=*/100);  // no aging in test
+  for (int i = 0; i < 7; ++i) {
+    sketch.Increment(123);
+  }
+  EXPECT_GE(sketch.Estimate(123), 7u);
+}
+
+TEST(CountMinSketchTest, SaturatesAtFifteen) {
+  CountMinSketch sketch(1000, 1000);
+  for (int i = 0; i < 100; ++i) {
+    sketch.Increment(5);
+  }
+  EXPECT_EQ(sketch.Estimate(5), 15u);
+}
+
+TEST(CountMinSketchTest, UnseenKeysEstimateNearZero) {
+  CountMinSketch sketch(4096, 1000);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    sketch.Increment(rng.NextBounded(2000));
+  }
+  // Overcounting exists but should be small on a sketch this wide.
+  int overcounted = 0;
+  for (uint64_t key = 1000000; key < 1000500; ++key) {
+    overcounted += sketch.Estimate(key) > 1 ? 1 : 0;
+  }
+  EXPECT_LT(overcounted, 50);
+}
+
+TEST(CountMinSketchTest, AgingHalvesCounts) {
+  CountMinSketch sketch(64, /*sample_factor=*/1);  // ages every 64 increments
+  for (int i = 0; i < 10; ++i) {
+    sketch.Increment(7);
+  }
+  const uint32_t before = sketch.Estimate(7);
+  ASSERT_GE(before, 10u);
+  // Push enough other traffic to trigger aging.
+  for (uint64_t key = 100; key < 200; ++key) {
+    sketch.Increment(key);
+  }
+  EXPECT_GE(sketch.aging_count(), 1u);
+  EXPECT_LT(sketch.Estimate(7), before);
+}
+
+TEST(CountMinSketchTest, ConservativeUpdateTracksHeavyHitters) {
+  CountMinSketch sketch(4096, 100);
+  Rng rng(5);
+  // 90% of traffic to key 1, the rest spread thin.
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.NextBool(0.9)) {
+      sketch.Increment(1);
+    } else {
+      sketch.Increment(rng.NextBounded(4000) + 10);
+    }
+  }
+  EXPECT_EQ(sketch.Estimate(1), 15u);  // heavy hitter saturated
+}
+
+}  // namespace
+}  // namespace qdlp

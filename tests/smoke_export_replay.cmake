@@ -1,0 +1,15 @@
+# Exports a tiny registry, then replays one exported trace — exercises the
+# trace I/O round trip through the user-facing tools.
+file(REMOVE_RECURSE "${WORK_DIR}")
+execute_process(COMMAND "${EXPORT_BIN}" "${WORK_DIR}" 0.02
+                RESULT_VARIABLE export_result)
+if(NOT export_result EQUAL 0)
+  message(FATAL_ERROR "export_registry failed: ${export_result}")
+endif()
+file(GLOB exported "${WORK_DIR}/*.bin")
+list(GET exported 0 first_trace)
+execute_process(COMMAND "${REPLAY_BIN}" "${first_trace}" lru,fifo-reinsertion 0.05
+                RESULT_VARIABLE replay_result)
+if(NOT replay_result EQUAL 0)
+  message(FATAL_ERROR "replay_trace failed: ${replay_result}")
+endif()

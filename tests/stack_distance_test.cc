@@ -1,0 +1,133 @@
+// Stack-distance profiling and SHARDS sampling.
+
+#include <gtest/gtest.h>
+
+#include "src/policies/lru.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stack_distance.h"
+#include "src/trace/generators.h"
+
+namespace qdlp {
+namespace {
+
+TEST(StackDistanceTest, HandComputedDistances) {
+  StackDistanceProfiler profiler;
+  EXPECT_EQ(profiler.Record(1), StackDistanceProfiler::kInfinite);
+  EXPECT_EQ(profiler.Record(1), 1u);  // immediate repeat
+  EXPECT_EQ(profiler.Record(2), StackDistanceProfiler::kInfinite);
+  EXPECT_EQ(profiler.Record(1), 2u);  // one distinct object (2) in between
+  EXPECT_EQ(profiler.Record(3), StackDistanceProfiler::kInfinite);
+  EXPECT_EQ(profiler.Record(2), 3u);  // {1, 3} in between -> position 3
+  EXPECT_EQ(profiler.cold_misses(), 3u);
+}
+
+TEST(StackDistanceTest, RepeatedAccessKeepsDistanceOne) {
+  StackDistanceProfiler profiler;
+  profiler.Record(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(profiler.Record(9), 1u);
+  }
+}
+
+class MattsonExactnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MattsonExactnessTest, MatchesDirectLruSimulationAtEverySize) {
+  // The whole point of the profiler: ONE pass must equal a direct LRU
+  // simulation at every cache size.
+  ZipfTraceConfig config;
+  config.num_requests = 30000;
+  config.num_objects = 2000;
+  config.skew = 0.9;
+  config.seed = GetParam();
+  const Trace trace = GenerateZipf(config);
+
+  StackDistanceProfiler profiler;
+  for (const ObjectId id : trace.requests) {
+    profiler.Record(id);
+  }
+  for (const uint64_t size : {1ULL, 7ULL, 50ULL, 333ULL, 1000ULL, 5000ULL}) {
+    LruPolicy lru(size);
+    const SimResult direct = ReplayTrace(lru, trace);
+    EXPECT_NEAR(profiler.MissRatioAt(size), direct.miss_ratio(), 1e-12)
+        << "size " << size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MattsonExactnessTest,
+                         ::testing::Values(701, 702, 703));
+
+TEST(StackDistanceTest, MrcIsMonotonicallyNonIncreasing) {
+  ZipfTraceConfig config;
+  config.num_requests = 20000;
+  config.num_objects = 1500;
+  config.seed = 705;
+  const Trace trace = GenerateZipf(config);
+  StackDistanceProfiler profiler;
+  for (const ObjectId id : trace.requests) {
+    profiler.Record(id);
+  }
+  double previous = 1.0;
+  for (uint64_t size = 1; size <= 2000; size += 37) {
+    const double mr = profiler.MissRatioAt(size);
+    EXPECT_LE(mr, previous + 1e-12);
+    previous = mr;
+  }
+}
+
+TEST(ShardsTest, FullRateMatchesExact) {
+  ZipfTraceConfig config;
+  config.num_requests = 10000;
+  config.num_objects = 800;
+  config.seed = 707;
+  const Trace trace = GenerateZipf(config);
+  StackDistanceProfiler exact;
+  ShardsProfiler shards(1.0);
+  for (const ObjectId id : trace.requests) {
+    exact.Record(id);
+    shards.Record(id);
+  }
+  EXPECT_EQ(shards.sampled_requests(), shards.requests());
+  for (const uint64_t size : {10ULL, 100ULL, 400ULL}) {
+    EXPECT_NEAR(shards.MissRatioAt(size), exact.MissRatioAt(size), 1e-12);
+  }
+}
+
+TEST(ShardsTest, SampledEstimateCloseToExact) {
+  ZipfTraceConfig config;
+  config.num_requests = 200000;
+  config.num_objects = 20000;
+  config.skew = 0.8;
+  config.seed = 709;
+  const Trace trace = GenerateZipf(config);
+  StackDistanceProfiler exact;
+  ShardsProfiler shards(0.05);  // 5% sample
+  for (const ObjectId id : trace.requests) {
+    exact.Record(id);
+    shards.Record(id);
+  }
+  // Roughly 5% of requests sampled.
+  const double fraction = static_cast<double>(shards.sampled_requests()) /
+                          static_cast<double>(shards.requests());
+  EXPECT_NEAR(fraction, 0.05, 0.02);
+  for (const uint64_t size : {200ULL, 1000ULL, 5000ULL, 15000ULL}) {
+    // Small cache sizes scale down to very few sampled positions (200 x
+    // 0.05 = 10), so the estimate there is granular; allow a wider band.
+    const double tolerance = size <= 500 ? 0.08 : 0.05;
+    EXPECT_NEAR(shards.MissRatioAt(size), exact.MissRatioAt(size), tolerance)
+        << "size " << size;
+  }
+}
+
+TEST(ExactLruMrcTest, CurveMatchesProfiler) {
+  ZipfTraceConfig config;
+  config.num_requests = 5000;
+  config.num_objects = 500;
+  config.seed = 711;
+  const Trace trace = GenerateZipf(config);
+  const auto curve = ExactLruMrc(trace, {10, 100, 400});
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_GT(curve[0].second, curve[2].second);  // bigger cache, fewer misses
+}
+
+}  // namespace
+}  // namespace qdlp

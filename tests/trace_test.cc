@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+
+#include "src/trace/generators.h"
+#include "src/trace/registry.h"
+#include "src/trace/trace.h"
+#include "src/trace/trace_io.h"
+
+namespace qdlp {
+namespace {
+
+TEST(TraceStatsTest, CountsUniqueObjects) {
+  EXPECT_EQ(CountUniqueObjects({1, 2, 3, 2, 1}), 3u);
+  EXPECT_EQ(CountUniqueObjects({}), 0u);
+}
+
+TEST(TraceStatsTest, ComputesFrequencyAndOneHitWonders) {
+  Trace trace;
+  trace.requests = {1, 1, 1, 2, 3};  // obj 1 x3, obj 2 x1, obj 3 x1
+  const TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_EQ(stats.num_requests, 5u);
+  EXPECT_EQ(stats.num_objects, 3u);
+  EXPECT_NEAR(stats.mean_frequency, 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.one_hit_wonder_ratio, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.compulsory_miss_ratio, 3.0 / 5.0, 1e-12);
+}
+
+TEST(ZipfGeneratorTest, DeterministicAndSized) {
+  ZipfTraceConfig config;
+  config.num_requests = 5000;
+  config.num_objects = 500;
+  config.seed = 3;
+  const Trace a = GenerateZipf(config);
+  const Trace b = GenerateZipf(config);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.requests.size(), 5000u);
+  EXPECT_LE(a.num_objects, 500u);
+  EXPECT_GT(a.num_objects, 100u);
+}
+
+TEST(ZipfGeneratorTest, SeedChangesStream) {
+  ZipfTraceConfig config;
+  config.num_requests = 1000;
+  config.seed = 1;
+  const Trace a = GenerateZipf(config);
+  config.seed = 2;
+  const Trace b = GenerateZipf(config);
+  EXPECT_NE(a.requests, b.requests);
+}
+
+TEST(PopularityDecayTest, HasOneHitWonders) {
+  PopularityDecayConfig config;
+  config.num_requests = 50000;
+  config.one_hit_wonder_fraction = 0.2;
+  config.seed = 5;
+  const Trace trace = GeneratePopularityDecay(config);
+  const TraceStats stats = ComputeTraceStats(trace);
+  // At least the injected one-hit stream should show up as one-hit wonders.
+  EXPECT_GT(stats.one_hit_wonder_ratio, 0.2);
+  EXPECT_EQ(trace.cls, WorkloadClass::kWeb);
+}
+
+TEST(PopularityDecayTest, PopularityDecays) {
+  // Objects introduced early should receive less traffic late in the trace
+  // than recently-introduced objects.
+  PopularityDecayConfig config;
+  config.num_requests = 60000;
+  config.one_hit_wonder_fraction = 0.0;
+  config.seed = 7;
+  const Trace trace = GeneratePopularityDecay(config);
+  // Compare reuse of first-half-introduced objects in the second half.
+  std::unordered_set<ObjectId> first_half;
+  const size_t half = trace.requests.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    first_half.insert(trace.requests[i]);
+  }
+  size_t old_hits = 0;
+  for (size_t i = half; i < trace.requests.size(); ++i) {
+    old_hits += first_half.contains(trace.requests[i]) ? 1 : 0;
+  }
+  // With popularity decay, well under half of late traffic goes to old ids.
+  EXPECT_LT(static_cast<double>(old_hits) / static_cast<double>(half), 0.5);
+}
+
+TEST(ScanLoopTest, ProducesScansAndStaysDeterministic) {
+  ScanLoopConfig config;
+  config.num_requests = 50000;
+  config.seed = 9;
+  const Trace a = GenerateScanLoop(config);
+  const Trace b = GenerateScanLoop(config);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.cls, WorkloadClass::kBlock);
+  // Scans create objects outside the hot universe.
+  EXPECT_GT(a.num_objects, config.hot_objects / 2);
+  // Consecutive-address runs exist (scan signature).
+  size_t runs = 0;
+  for (size_t i = 1; i < a.requests.size(); ++i) {
+    if (a.requests[i] == a.requests[i - 1] + 1) {
+      ++runs;
+    }
+  }
+  EXPECT_GT(runs, 100u);
+}
+
+TEST(ScanLoopTest, NoScansWhenDisabled) {
+  ScanLoopConfig config;
+  config.num_requests = 20000;
+  config.scan_start_probability = 0.0;
+  config.loop_start_probability = 0.0;
+  config.hot_objects = 100;
+  config.hot_drift_objects = 0;  // stationary popularity
+  config.seed = 11;
+  const Trace trace = GenerateScanLoop(config);
+  EXPECT_LE(trace.num_objects, 100u);
+}
+
+TEST(ScanLoopTest, HotSetDriftRetiresOldObjects) {
+  ScanLoopConfig config;
+  config.num_requests = 40000;
+  config.scan_start_probability = 0.0;
+  config.loop_start_probability = 0.0;
+  config.hot_objects = 500;
+  config.hot_drift_objects = 400;
+  config.seed = 13;
+  const Trace trace = GenerateScanLoop(config);
+  // The sliding window introduces ~hot_drift_objects fresh ids.
+  EXPECT_GT(trace.num_objects, 500u);
+  EXPECT_LE(trace.num_objects, 500u + 400u);
+  // Late requests come from the advanced window (its base is ~399 by then).
+  EXPECT_GT(trace.requests.back(), 300u);
+}
+
+TEST(HighReuseKvTest, MostObjectsReused) {
+  HighReuseKvConfig config;
+  config.num_requests = 100000;
+  config.num_objects = 5000;
+  config.seed = 13;
+  const Trace trace = GenerateHighReuseKv(config);
+  const TraceStats stats = ComputeTraceStats(trace);
+  // The paper's social-network observation: most objects accessed > once.
+  EXPECT_LT(stats.one_hit_wonder_ratio, 0.5);
+  EXPECT_GT(stats.mean_frequency, 5.0);
+}
+
+TEST(RegistryTest, HasTenFamilies) {
+  const auto specs = Table1Datasets();
+  ASSERT_EQ(specs.size(), 10u);
+  std::unordered_set<std::string> names;
+  int block = 0;
+  int web = 0;
+  for (const auto& spec : specs) {
+    names.insert(spec.name);
+    (spec.cls == WorkloadClass::kBlock ? block : web) += 1;
+  }
+  EXPECT_EQ(names.size(), 10u);  // unique names
+  EXPECT_EQ(block, 5);
+  EXPECT_EQ(web, 5);
+}
+
+TEST(RegistryTest, TraceCountScales) {
+  const auto specs = Table1Datasets();
+  for (const auto& spec : specs) {
+    EXPECT_EQ(TraceCountAtScale(spec, 1.0), spec.base_trace_count);
+    EXPECT_GE(TraceCountAtScale(spec, 4.0), spec.base_trace_count * 2 - 1);
+    EXPECT_GE(TraceCountAtScale(spec, 0.01), 1);
+  }
+}
+
+TEST(RegistryTest, MakeTraceDeterministicPerIndex) {
+  const auto specs = Table1Datasets();
+  const Trace a = MakeTrace(specs[0], 0, 0.25);
+  const Trace b = MakeTrace(specs[0], 0, 0.25);
+  const Trace c = MakeTrace(specs[0], 1, 0.25);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_NE(a.requests, c.requests);
+  EXPECT_EQ(a.dataset, specs[0].name);
+  EXPECT_EQ(a.name, specs[0].name + "/000");
+}
+
+TEST(RegistryTest, MaterializeSmallScale) {
+  const auto traces = MaterializeRegistry(0.04);
+  EXPECT_GE(traces.size(), 10u);  // at least one per family
+  for (const auto& trace : traces) {
+    EXPECT_GE(trace.requests.size(), 10000u);
+    EXPECT_GT(trace.num_objects, 100u);
+  }
+}
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& path : cleanup_) {
+      std::remove(path.c_str());
+    }
+  }
+  std::string TempPath(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    cleanup_.push_back(path);
+    return path;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(TraceIoTest, BinaryRoundTrip) {
+  Trace trace;
+  trace.name = "t";
+  trace.requests = {1, 5, 1, 99, 1ULL << 50};
+  trace.num_objects = CountUniqueObjects(trace.requests);
+  const std::string path = TempPath("trace.bin");
+  ASSERT_TRUE(WriteTraceBinary(trace, path));
+  const auto loaded = ReadTraceBinary(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->requests, trace.requests);
+  EXPECT_EQ(loaded->num_objects, trace.num_objects);
+}
+
+TEST_F(TraceIoTest, CsvRoundTrip) {
+  Trace trace;
+  trace.name = "t";
+  trace.requests = {7, 7, 8, 9};
+  const std::string path = TempPath("trace.csv");
+  ASSERT_TRUE(WriteTraceCsv(trace, path));
+  const auto loaded = ReadTraceCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->requests, trace.requests);
+  EXPECT_EQ(loaded->num_objects, 3u);
+}
+
+TEST_F(TraceIoTest, MissingFileFailsGracefully) {
+  EXPECT_FALSE(ReadTraceBinary("/nonexistent/path.bin").has_value());
+  EXPECT_FALSE(ReadTraceCsv("/nonexistent/path.csv").has_value());
+}
+
+TEST_F(TraceIoTest, CorruptBinaryRejected) {
+  const std::string path = TempPath("bad.bin");
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fputs("not a trace", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(ReadTraceBinary(path).has_value());
+}
+
+TEST_F(TraceIoTest, OracleGeneralRoundTrip) {
+  Trace trace;
+  trace.name = "t";
+  trace.requests = {10, 20, 10, 30, 20, 10};
+  trace.num_objects = 3;
+  const std::string path = TempPath("trace.oracleGeneral");
+  ASSERT_TRUE(WriteTraceOracleGeneral(trace, path));
+  const auto loaded = ReadTraceOracleGeneral(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->requests, trace.requests);
+  EXPECT_EQ(loaded->num_objects, 3u);
+}
+
+TEST_F(TraceIoTest, OracleGeneralRejectsMisalignedFiles) {
+  const std::string path = TempPath("bad.oracleGeneral");
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fputs("12345", f);  // 5 bytes: not a multiple of 24
+    fclose(f);
+  }
+  EXPECT_FALSE(ReadTraceOracleGeneral(path).has_value());
+}
+
+class ZipfFitTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfFitTest, RecoversGeneratorExponent) {
+  const double alpha = GetParam();
+  ZipfTraceConfig config;
+  config.num_requests = 300000;
+  config.num_objects = 10000;
+  config.skew = alpha;
+  config.seed = 1001;
+  const Trace trace = GenerateZipf(config);
+  const TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_NEAR(stats.zipf_alpha, alpha, 0.15) << "alpha " << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfFitTest,
+                         ::testing::Values(0.7, 0.9, 1.1));
+
+TEST(ZipfFitTest, UniformTraceFitsNearZero) {
+  Trace trace;
+  for (int round = 0; round < 20; ++round) {
+    for (ObjectId id = 0; id < 1000; ++id) {
+      trace.requests.push_back(id);  // perfectly uniform popularity
+    }
+  }
+  const TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_NEAR(stats.zipf_alpha, 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace qdlp
