@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lp_techniques.dir/ablation_lp_techniques.cc.o"
+  "CMakeFiles/ablation_lp_techniques.dir/ablation_lp_techniques.cc.o.d"
+  "ablation_lp_techniques"
+  "ablation_lp_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lp_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qd_params.dir/ablation_qd_params.cc.o"
+  "CMakeFiles/ablation_qd_params.dir/ablation_qd_params.cc.o.d"
+  "ablation_qd_params"
+  "ablation_qd_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qd_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

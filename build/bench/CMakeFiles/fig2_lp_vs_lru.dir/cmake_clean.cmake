@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_lp_vs_lru.dir/fig2_lp_vs_lru.cc.o"
+  "CMakeFiles/fig2_lp_vs_lru.dir/fig2_lp_vs_lru.cc.o.d"
+  "fig2_lp_vs_lru"
+  "fig2_lp_vs_lru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_lp_vs_lru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

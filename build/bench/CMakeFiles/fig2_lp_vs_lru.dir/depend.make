@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_lp_vs_lru.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_resource_consumption.dir/fig3_resource_consumption.cc.o"
+  "CMakeFiles/fig3_resource_consumption.dir/fig3_resource_consumption.cc.o.d"
+  "fig3_resource_consumption"
+  "fig3_resource_consumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_resource_consumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_qd_enhanced.dir/fig5_qd_enhanced.cc.o"
+  "CMakeFiles/fig5_qd_enhanced.dir/fig5_qd_enhanced.cc.o.d"
+  "fig5_qd_enhanced"
+  "fig5_qd_enhanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_qd_enhanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

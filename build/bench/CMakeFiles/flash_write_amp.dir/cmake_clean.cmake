@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_write_amp.dir/flash_write_amp.cc.o"
+  "CMakeFiles/flash_write_amp.dir/flash_write_amp.cc.o.d"
+  "flash_write_amp"
+  "flash_write_amp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_write_amp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

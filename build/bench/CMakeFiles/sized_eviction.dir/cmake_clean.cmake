@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sized_eviction.dir/sized_eviction.cc.o"
+  "CMakeFiles/sized_eviction.dir/sized_eviction.cc.o.d"
+  "sized_eviction"
+  "sized_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sized_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

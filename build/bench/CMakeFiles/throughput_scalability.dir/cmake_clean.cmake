@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_scalability.dir/throughput_scalability.cc.o"
+  "CMakeFiles/throughput_scalability.dir/throughput_scalability.cc.o.d"
+  "throughput_scalability"
+  "throughput_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

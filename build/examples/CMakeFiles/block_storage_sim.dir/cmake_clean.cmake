@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_storage_sim.dir/block_storage_sim.cpp.o"
+  "CMakeFiles/block_storage_sim.dir/block_storage_sim.cpp.o.d"
+  "block_storage_sim"
+  "block_storage_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_storage_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

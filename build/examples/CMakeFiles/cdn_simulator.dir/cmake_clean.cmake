@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_simulator.dir/cdn_simulator.cpp.o"
+  "CMakeFiles/cdn_simulator.dir/cdn_simulator.cpp.o.d"
+  "cdn_simulator"
+  "cdn_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

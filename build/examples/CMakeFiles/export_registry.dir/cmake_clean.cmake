@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_registry.dir/export_registry.cpp.o"
+  "CMakeFiles/export_registry.dir/export_registry.cpp.o.d"
+  "export_registry"
+  "export_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

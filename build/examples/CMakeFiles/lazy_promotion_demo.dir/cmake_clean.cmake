@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_promotion_demo.dir/lazy_promotion_demo.cpp.o"
+  "CMakeFiles/lazy_promotion_demo.dir/lazy_promotion_demo.cpp.o.d"
+  "lazy_promotion_demo"
+  "lazy_promotion_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_promotion_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_kv_sim.dir/social_kv_sim.cpp.o"
+  "CMakeFiles/social_kv_sim.dir/social_kv_sim.cpp.o.d"
+  "social_kv_sim"
+  "social_kv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_kv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttl_web_cache.dir/ttl_web_cache.cpp.o"
+  "CMakeFiles/ttl_web_cache.dir/ttl_web_cache.cpp.o.d"
+  "ttl_web_cache"
+  "ttl_web_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttl_web_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/concurrent/concurrent_clock.cc" "src/concurrent/CMakeFiles/qdlp_concurrent.dir/concurrent_clock.cc.o" "gcc" "src/concurrent/CMakeFiles/qdlp_concurrent.dir/concurrent_clock.cc.o.d"
+  "/root/repo/src/concurrent/concurrent_s3fifo.cc" "src/concurrent/CMakeFiles/qdlp_concurrent.dir/concurrent_s3fifo.cc.o" "gcc" "src/concurrent/CMakeFiles/qdlp_concurrent.dir/concurrent_s3fifo.cc.o.d"
+  "/root/repo/src/concurrent/locked_lru.cc" "src/concurrent/CMakeFiles/qdlp_concurrent.dir/locked_lru.cc.o" "gcc" "src/concurrent/CMakeFiles/qdlp_concurrent.dir/locked_lru.cc.o.d"
+  "/root/repo/src/concurrent/sharded_lru.cc" "src/concurrent/CMakeFiles/qdlp_concurrent.dir/sharded_lru.cc.o" "gcc" "src/concurrent/CMakeFiles/qdlp_concurrent.dir/sharded_lru.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/qdlp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qdlp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

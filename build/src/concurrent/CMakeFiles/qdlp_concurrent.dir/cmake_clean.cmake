@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdlp_concurrent.dir/concurrent_clock.cc.o"
+  "CMakeFiles/qdlp_concurrent.dir/concurrent_clock.cc.o.d"
+  "CMakeFiles/qdlp_concurrent.dir/concurrent_s3fifo.cc.o"
+  "CMakeFiles/qdlp_concurrent.dir/concurrent_s3fifo.cc.o.d"
+  "CMakeFiles/qdlp_concurrent.dir/locked_lru.cc.o"
+  "CMakeFiles/qdlp_concurrent.dir/locked_lru.cc.o.d"
+  "CMakeFiles/qdlp_concurrent.dir/sharded_lru.cc.o"
+  "CMakeFiles/qdlp_concurrent.dir/sharded_lru.cc.o.d"
+  "libqdlp_concurrent.a"
+  "libqdlp_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdlp_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

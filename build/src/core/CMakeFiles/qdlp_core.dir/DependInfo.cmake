@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ghost_queue.cc" "src/core/CMakeFiles/qdlp_core.dir/ghost_queue.cc.o" "gcc" "src/core/CMakeFiles/qdlp_core.dir/ghost_queue.cc.o.d"
+  "/root/repo/src/core/policy_factory.cc" "src/core/CMakeFiles/qdlp_core.dir/policy_factory.cc.o" "gcc" "src/core/CMakeFiles/qdlp_core.dir/policy_factory.cc.o.d"
+  "/root/repo/src/core/qd_cache.cc" "src/core/CMakeFiles/qdlp_core.dir/qd_cache.cc.o" "gcc" "src/core/CMakeFiles/qdlp_core.dir/qd_cache.cc.o.d"
+  "/root/repo/src/core/s3fifo.cc" "src/core/CMakeFiles/qdlp_core.dir/s3fifo.cc.o" "gcc" "src/core/CMakeFiles/qdlp_core.dir/s3fifo.cc.o.d"
+  "/root/repo/src/core/sieve.cc" "src/core/CMakeFiles/qdlp_core.dir/sieve.cc.o" "gcc" "src/core/CMakeFiles/qdlp_core.dir/sieve.cc.o.d"
+  "/root/repo/src/core/ttl_cache.cc" "src/core/CMakeFiles/qdlp_core.dir/ttl_cache.cc.o" "gcc" "src/core/CMakeFiles/qdlp_core.dir/ttl_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policies/CMakeFiles/qdlp_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/qdlp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qdlp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

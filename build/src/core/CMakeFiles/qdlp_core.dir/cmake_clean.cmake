@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdlp_core.dir/ghost_queue.cc.o"
+  "CMakeFiles/qdlp_core.dir/ghost_queue.cc.o.d"
+  "CMakeFiles/qdlp_core.dir/policy_factory.cc.o"
+  "CMakeFiles/qdlp_core.dir/policy_factory.cc.o.d"
+  "CMakeFiles/qdlp_core.dir/qd_cache.cc.o"
+  "CMakeFiles/qdlp_core.dir/qd_cache.cc.o.d"
+  "CMakeFiles/qdlp_core.dir/s3fifo.cc.o"
+  "CMakeFiles/qdlp_core.dir/s3fifo.cc.o.d"
+  "CMakeFiles/qdlp_core.dir/sieve.cc.o"
+  "CMakeFiles/qdlp_core.dir/sieve.cc.o.d"
+  "CMakeFiles/qdlp_core.dir/ttl_cache.cc.o"
+  "CMakeFiles/qdlp_core.dir/ttl_cache.cc.o.d"
+  "libqdlp_core.a"
+  "libqdlp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdlp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdlp_flash.dir/flash_model.cc.o"
+  "CMakeFiles/qdlp_flash.dir/flash_model.cc.o.d"
+  "libqdlp_flash.a"
+  "libqdlp_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdlp_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

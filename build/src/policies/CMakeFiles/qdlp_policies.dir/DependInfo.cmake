@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/arc.cc" "src/policies/CMakeFiles/qdlp_policies.dir/arc.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/arc.cc.o.d"
+  "/root/repo/src/policies/belady.cc" "src/policies/CMakeFiles/qdlp_policies.dir/belady.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/belady.cc.o.d"
+  "/root/repo/src/policies/cacheus.cc" "src/policies/CMakeFiles/qdlp_policies.dir/cacheus.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/cacheus.cc.o.d"
+  "/root/repo/src/policies/car.cc" "src/policies/CMakeFiles/qdlp_policies.dir/car.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/car.cc.o.d"
+  "/root/repo/src/policies/clock.cc" "src/policies/CMakeFiles/qdlp_policies.dir/clock.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/clock.cc.o.d"
+  "/root/repo/src/policies/clockpro.cc" "src/policies/CMakeFiles/qdlp_policies.dir/clockpro.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/clockpro.cc.o.d"
+  "/root/repo/src/policies/fifo.cc" "src/policies/CMakeFiles/qdlp_policies.dir/fifo.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/fifo.cc.o.d"
+  "/root/repo/src/policies/hyperbolic.cc" "src/policies/CMakeFiles/qdlp_policies.dir/hyperbolic.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/hyperbolic.cc.o.d"
+  "/root/repo/src/policies/lazy_lru.cc" "src/policies/CMakeFiles/qdlp_policies.dir/lazy_lru.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/lazy_lru.cc.o.d"
+  "/root/repo/src/policies/lecar.cc" "src/policies/CMakeFiles/qdlp_policies.dir/lecar.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/lecar.cc.o.d"
+  "/root/repo/src/policies/lfu.cc" "src/policies/CMakeFiles/qdlp_policies.dir/lfu.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/lfu.cc.o.d"
+  "/root/repo/src/policies/lhd.cc" "src/policies/CMakeFiles/qdlp_policies.dir/lhd.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/lhd.cc.o.d"
+  "/root/repo/src/policies/lirs.cc" "src/policies/CMakeFiles/qdlp_policies.dir/lirs.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/lirs.cc.o.d"
+  "/root/repo/src/policies/lru.cc" "src/policies/CMakeFiles/qdlp_policies.dir/lru.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/lru.cc.o.d"
+  "/root/repo/src/policies/lruk.cc" "src/policies/CMakeFiles/qdlp_policies.dir/lruk.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/lruk.cc.o.d"
+  "/root/repo/src/policies/mq.cc" "src/policies/CMakeFiles/qdlp_policies.dir/mq.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/mq.cc.o.d"
+  "/root/repo/src/policies/random_policy.cc" "src/policies/CMakeFiles/qdlp_policies.dir/random_policy.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/random_policy.cc.o.d"
+  "/root/repo/src/policies/slru.cc" "src/policies/CMakeFiles/qdlp_policies.dir/slru.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/slru.cc.o.d"
+  "/root/repo/src/policies/twoq.cc" "src/policies/CMakeFiles/qdlp_policies.dir/twoq.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/twoq.cc.o.d"
+  "/root/repo/src/policies/wtinylfu.cc" "src/policies/CMakeFiles/qdlp_policies.dir/wtinylfu.cc.o" "gcc" "src/policies/CMakeFiles/qdlp_policies.dir/wtinylfu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/qdlp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qdlp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdlp_sim.dir/mrc.cc.o"
+  "CMakeFiles/qdlp_sim.dir/mrc.cc.o.d"
+  "CMakeFiles/qdlp_sim.dir/residency.cc.o"
+  "CMakeFiles/qdlp_sim.dir/residency.cc.o.d"
+  "CMakeFiles/qdlp_sim.dir/simulator.cc.o"
+  "CMakeFiles/qdlp_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/qdlp_sim.dir/stack_distance.cc.o"
+  "CMakeFiles/qdlp_sim.dir/stack_distance.cc.o.d"
+  "CMakeFiles/qdlp_sim.dir/sweep.cc.o"
+  "CMakeFiles/qdlp_sim.dir/sweep.cc.o.d"
+  "libqdlp_sim.a"
+  "libqdlp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdlp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sized/gdsf.cc" "src/sized/CMakeFiles/qdlp_sized.dir/gdsf.cc.o" "gcc" "src/sized/CMakeFiles/qdlp_sized.dir/gdsf.cc.o.d"
+  "/root/repo/src/sized/sized_basic.cc" "src/sized/CMakeFiles/qdlp_sized.dir/sized_basic.cc.o" "gcc" "src/sized/CMakeFiles/qdlp_sized.dir/sized_basic.cc.o.d"
+  "/root/repo/src/sized/sized_factory.cc" "src/sized/CMakeFiles/qdlp_sized.dir/sized_factory.cc.o" "gcc" "src/sized/CMakeFiles/qdlp_sized.dir/sized_factory.cc.o.d"
+  "/root/repo/src/sized/sized_qdlp.cc" "src/sized/CMakeFiles/qdlp_sized.dir/sized_qdlp.cc.o" "gcc" "src/sized/CMakeFiles/qdlp_sized.dir/sized_qdlp.cc.o.d"
+  "/root/repo/src/sized/sized_trace.cc" "src/sized/CMakeFiles/qdlp_sized.dir/sized_trace.cc.o" "gcc" "src/sized/CMakeFiles/qdlp_sized.dir/sized_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/qdlp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qdlp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdlp_sized.dir/gdsf.cc.o"
+  "CMakeFiles/qdlp_sized.dir/gdsf.cc.o.d"
+  "CMakeFiles/qdlp_sized.dir/sized_basic.cc.o"
+  "CMakeFiles/qdlp_sized.dir/sized_basic.cc.o.d"
+  "CMakeFiles/qdlp_sized.dir/sized_factory.cc.o"
+  "CMakeFiles/qdlp_sized.dir/sized_factory.cc.o.d"
+  "CMakeFiles/qdlp_sized.dir/sized_qdlp.cc.o"
+  "CMakeFiles/qdlp_sized.dir/sized_qdlp.cc.o.d"
+  "CMakeFiles/qdlp_sized.dir/sized_trace.cc.o"
+  "CMakeFiles/qdlp_sized.dir/sized_trace.cc.o.d"
+  "libqdlp_sized.a"
+  "libqdlp_sized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdlp_sized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdlp_trace.dir/generators.cc.o"
+  "CMakeFiles/qdlp_trace.dir/generators.cc.o.d"
+  "CMakeFiles/qdlp_trace.dir/registry.cc.o"
+  "CMakeFiles/qdlp_trace.dir/registry.cc.o.d"
+  "CMakeFiles/qdlp_trace.dir/trace.cc.o"
+  "CMakeFiles/qdlp_trace.dir/trace.cc.o.d"
+  "CMakeFiles/qdlp_trace.dir/trace_io.cc.o"
+  "CMakeFiles/qdlp_trace.dir/trace_io.cc.o.d"
+  "libqdlp_trace.a"
+  "libqdlp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdlp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqdlp_trace.a"
+)

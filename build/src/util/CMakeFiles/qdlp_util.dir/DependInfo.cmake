@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bloom_filter.cc" "src/util/CMakeFiles/qdlp_util.dir/bloom_filter.cc.o" "gcc" "src/util/CMakeFiles/qdlp_util.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/util/count_min_sketch.cc" "src/util/CMakeFiles/qdlp_util.dir/count_min_sketch.cc.o" "gcc" "src/util/CMakeFiles/qdlp_util.dir/count_min_sketch.cc.o.d"
+  "/root/repo/src/util/env.cc" "src/util/CMakeFiles/qdlp_util.dir/env.cc.o" "gcc" "src/util/CMakeFiles/qdlp_util.dir/env.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/util/CMakeFiles/qdlp_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/qdlp_util.dir/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/qdlp_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/qdlp_util.dir/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/util/CMakeFiles/qdlp_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/qdlp_util.dir/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/qdlp_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/qdlp_util.dir/thread_pool.cc.o.d"
+  "/root/repo/src/util/zipf.cc" "src/util/CMakeFiles/qdlp_util.dir/zipf.cc.o" "gcc" "src/util/CMakeFiles/qdlp_util.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdlp_util.dir/bloom_filter.cc.o"
+  "CMakeFiles/qdlp_util.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/qdlp_util.dir/count_min_sketch.cc.o"
+  "CMakeFiles/qdlp_util.dir/count_min_sketch.cc.o.d"
+  "CMakeFiles/qdlp_util.dir/env.cc.o"
+  "CMakeFiles/qdlp_util.dir/env.cc.o.d"
+  "CMakeFiles/qdlp_util.dir/random.cc.o"
+  "CMakeFiles/qdlp_util.dir/random.cc.o.d"
+  "CMakeFiles/qdlp_util.dir/stats.cc.o"
+  "CMakeFiles/qdlp_util.dir/stats.cc.o.d"
+  "CMakeFiles/qdlp_util.dir/table.cc.o"
+  "CMakeFiles/qdlp_util.dir/table.cc.o.d"
+  "CMakeFiles/qdlp_util.dir/thread_pool.cc.o"
+  "CMakeFiles/qdlp_util.dir/thread_pool.cc.o.d"
+  "CMakeFiles/qdlp_util.dir/zipf.cc.o"
+  "CMakeFiles/qdlp_util.dir/zipf.cc.o.d"
+  "libqdlp_util.a"
+  "libqdlp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdlp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_policies_test.dir/adaptive_policies_test.cc.o"
+  "CMakeFiles/adaptive_policies_test.dir/adaptive_policies_test.cc.o.d"
+  "adaptive_policies_test"
+  "adaptive_policies_test.pdb"
+  "adaptive_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

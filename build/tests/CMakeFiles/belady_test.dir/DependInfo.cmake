@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/belady_test.cc" "tests/CMakeFiles/belady_test.dir/belady_test.cc.o" "gcc" "tests/CMakeFiles/belady_test.dir/belady_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/qdlp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qdlp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/qdlp_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/qdlp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qdlp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/qdlp_concurrent.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

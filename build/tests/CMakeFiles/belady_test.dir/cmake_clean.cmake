@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/belady_test.dir/belady_test.cc.o"
+  "CMakeFiles/belady_test.dir/belady_test.cc.o.d"
+  "belady_test"
+  "belady_test.pdb"
+  "belady_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/belady_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clockpro_test.dir/clockpro_test.cc.o"
+  "CMakeFiles/clockpro_test.dir/clockpro_test.cc.o.d"
+  "clockpro_test"
+  "clockpro_test.pdb"
+  "clockpro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clockpro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

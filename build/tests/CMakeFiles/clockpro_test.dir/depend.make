@@ -1,0 +1,2 @@
+# Empty dependencies file for clockpro_test.
+# This may be replaced when dependencies are built.

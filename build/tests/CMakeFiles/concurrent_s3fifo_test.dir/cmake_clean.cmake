@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_s3fifo_test.dir/concurrent_s3fifo_test.cc.o"
+  "CMakeFiles/concurrent_s3fifo_test.dir/concurrent_s3fifo_test.cc.o.d"
+  "concurrent_s3fifo_test"
+  "concurrent_s3fifo_test.pdb"
+  "concurrent_s3fifo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_s3fifo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

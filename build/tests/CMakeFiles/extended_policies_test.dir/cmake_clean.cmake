@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_policies_test.dir/extended_policies_test.cc.o"
+  "CMakeFiles/extended_policies_test.dir/extended_policies_test.cc.o.d"
+  "extended_policies_test"
+  "extended_policies_test.pdb"
+  "extended_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

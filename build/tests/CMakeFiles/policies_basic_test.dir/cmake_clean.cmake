@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policies_basic_test.dir/policies_basic_test.cc.o"
+  "CMakeFiles/policies_basic_test.dir/policies_basic_test.cc.o.d"
+  "policies_basic_test"
+  "policies_basic_test.pdb"
+  "policies_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policies_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

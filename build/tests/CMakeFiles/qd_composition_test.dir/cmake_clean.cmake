@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qd_composition_test.dir/qd_composition_test.cc.o"
+  "CMakeFiles/qd_composition_test.dir/qd_composition_test.cc.o.d"
+  "qd_composition_test"
+  "qd_composition_test.pdb"
+  "qd_composition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qd_composition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qd_differential_test.dir/qd_differential_test.cc.o"
+  "CMakeFiles/qd_differential_test.dir/qd_differential_test.cc.o.d"
+  "qd_differential_test"
+  "qd_differential_test.pdb"
+  "qd_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qd_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampled_policies_test.dir/sampled_policies_test.cc.o"
+  "CMakeFiles/sampled_policies_test.dir/sampled_policies_test.cc.o.d"
+  "sampled_policies_test"
+  "sampled_policies_test.pdb"
+  "sampled_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampled_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

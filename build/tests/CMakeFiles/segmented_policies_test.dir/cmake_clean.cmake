@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segmented_policies_test.dir/segmented_policies_test.cc.o"
+  "CMakeFiles/segmented_policies_test.dir/segmented_policies_test.cc.o.d"
+  "segmented_policies_test"
+  "segmented_policies_test.pdb"
+  "segmented_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segmented_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sized_test.dir/sized_test.cc.o"
+  "CMakeFiles/sized_test.dir/sized_test.cc.o.d"
+  "sized_test"
+  "sized_test.pdb"
+  "sized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

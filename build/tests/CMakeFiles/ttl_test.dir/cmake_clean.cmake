@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttl_test.dir/ttl_test.cc.o"
+  "CMakeFiles/ttl_test.dir/ttl_test.cc.o.d"
+  "ttl_test"
+  "ttl_test.pdb"
+  "ttl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdlp_sim_cli.dir/qdlp_sim.cc.o"
+  "CMakeFiles/qdlp_sim_cli.dir/qdlp_sim.cc.o.d"
+  "qdlp_sim"
+  "qdlp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdlp_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
