@@ -32,6 +32,14 @@ class ConcurrentCache {
   virtual bool Get(ObjectId id) = 0;
   virtual size_t capacity() const = 0;
   virtual const char* name() const = 0;
+
+  // Validates internal invariants (index/queue consistency, occupancy
+  // accounting, ghost/resident disjointness) with QDLP_CHECK, aborting on
+  // violation. Takes the cache's locks, so it is safe to call concurrently
+  // with Get(), but it is O(size) and intended for tests — call it at
+  // quiescent points (e.g. after joining worker threads). Non-const because
+  // it acquires the same mutexes the operational paths use.
+  virtual void CheckInvariants() {}
 };
 
 }  // namespace qdlp

@@ -20,6 +20,39 @@ ConcurrentClockCache::ConcurrentClockCache(size_t capacity, int bits,
   }
 }
 
+void ConcurrentClockCache::CheckInvariants() {
+  std::lock_guard<std::mutex> eviction_lock(eviction_mu_);
+  const size_t used = used_.load(std::memory_order_relaxed);
+  QDLP_CHECK(used <= capacity_);
+  QDLP_CHECK(hand_ < capacity_ || capacity_ == 0);
+  size_t occupied = 0;
+  for (size_t slot = 0; slot < capacity_; ++slot) {
+    if (slot >= used) {
+      // Never-admitted slots beyond the bump allocator are unoccupied.
+      QDLP_CHECK(!slots_[slot].occupied.load(std::memory_order_acquire));
+      continue;
+    }
+    if (slots_[slot].occupied.load(std::memory_order_acquire)) {
+      ++occupied;
+      QDLP_CHECK(slots_[slot].counter.load(std::memory_order_relaxed) <=
+                 max_counter_);
+    }
+  }
+  // Each shard-index entry points at an occupied slot holding that id; the
+  // union of shards covers every occupied slot exactly once.
+  size_t indexed = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    for (const auto& [id, slot] : shard->index) {
+      QDLP_CHECK(slot < capacity_);
+      QDLP_CHECK(slots_[slot].occupied.load(std::memory_order_acquire));
+      QDLP_CHECK(slots_[slot].id.load(std::memory_order_relaxed) == id);
+      ++indexed;
+    }
+  }
+  QDLP_CHECK(indexed == occupied);
+}
+
 ConcurrentClockCache::Shard& ConcurrentClockCache::ShardFor(ObjectId id) {
   return *shards_[SplitMix64(id) % shards_.size()];
 }

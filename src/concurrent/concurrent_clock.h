@@ -29,6 +29,10 @@ class ConcurrentClockCache : public ConcurrentCache {
   size_t capacity() const override { return capacity_; }
   const char* name() const override { return "concurrent-clock"; }
 
+  // Slot/shard-index agreement and occupancy accounting under eviction_mu_
+  // + the shard locks.
+  void CheckInvariants() override;
+
  private:
   struct Slot {
     std::atomic<ObjectId> id{0};

@@ -29,6 +29,45 @@ ConcurrentS3FifoCache::ConcurrentS3FifoCache(size_t capacity,
   }
 }
 
+void ConcurrentS3FifoCache::CheckInvariants() {
+  std::lock_guard<std::mutex> eviction_lock(eviction_mu_);
+  QDLP_CHECK(owner_.size() <= capacity_);
+  QDLP_CHECK(small_count_ + main_count_ == owner_.size());
+  QDLP_CHECK(resident_.load(std::memory_order_relaxed) == owner_.size());
+  QDLP_CHECK(small_fifo_.size() == small_count_);
+  QDLP_CHECK(main_fifo_.size() == main_count_);
+  for (const Node* node : small_fifo_) {
+    QDLP_CHECK(node->where == Where::kSmall);
+    const auto it = owner_.find(node->id);
+    QDLP_CHECK(it != owner_.end());
+    QDLP_CHECK(it->second.get() == node);
+  }
+  for (const Node* node : main_fifo_) {
+    QDLP_CHECK(node->where == Where::kMain);
+    const auto it = owner_.find(node->id);
+    QDLP_CHECK(it != owner_.end());
+    QDLP_CHECK(it->second.get() == node);
+  }
+  // Ghost entries are evicted history; none may still be resident.
+  for (const auto& [id, generation] : ghost_live_) {
+    (void)generation;
+    QDLP_CHECK(!owner_.contains(id));
+  }
+  QDLP_CHECK(ghost_live_.size() <= ghost_capacity_);
+  // The shard indexes, unioned, are exactly the owned nodes.
+  size_t indexed = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    for (const auto& [id, node] : shard->index) {
+      const auto it = owner_.find(id);
+      QDLP_CHECK(it != owner_.end());
+      QDLP_CHECK(it->second.get() == node);
+      ++indexed;
+    }
+  }
+  QDLP_CHECK(indexed == owner_.size());
+}
+
 ConcurrentS3FifoCache::Shard& ConcurrentS3FifoCache::ShardFor(ObjectId id) {
   return *shards_[SplitMix64(id) % shards_.size()];
 }

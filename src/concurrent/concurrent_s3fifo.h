@@ -38,6 +38,10 @@ class ConcurrentS3FifoCache : public ConcurrentCache {
   // Resident object count (approximate under concurrency).
   size_t size() const { return resident_.load(std::memory_order_relaxed); }
 
+  // Queue-size accounting, shard-index/owner agreement, and ghost/resident
+  // disjointness, all under eviction_mu_ + the shard locks.
+  void CheckInvariants() override;
+
  private:
   static constexpr uint8_t kMaxFreq = 3;
 

@@ -1,6 +1,19 @@
 #include "src/concurrent/locked_lru.h"
 
+#include "src/util/check.h"
+
 namespace qdlp {
+
+void GlobalLockLruCache::CheckInvariants() {
+  std::lock_guard<std::mutex> lock(mu_);
+  QDLP_CHECK(index_.size() <= capacity_);
+  QDLP_CHECK(index_.size() == mru_list_.size());
+  for (auto it = mru_list_.begin(); it != mru_list_.end(); ++it) {
+    const auto entry = index_.find(*it);
+    QDLP_CHECK(entry != index_.end());
+    QDLP_CHECK(entry->second == it);
+  }
+}
 
 GlobalLockLruCache::GlobalLockLruCache(size_t capacity) : capacity_(capacity) {
   index_.reserve(capacity);

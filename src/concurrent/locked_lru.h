@@ -20,6 +20,9 @@ class GlobalLockLruCache : public ConcurrentCache {
   size_t capacity() const override { return capacity_; }
   const char* name() const override { return "global-lock-lru"; }
 
+  // List/index agreement and capacity accounting under the global lock.
+  void CheckInvariants() override;
+
  private:
   const size_t capacity_;
   std::mutex mu_;

@@ -25,6 +25,25 @@ ShardedLruCache::ShardedLruCache(size_t capacity, size_t num_shards)
   }
 }
 
+void ShardedLruCache::CheckInvariants() {
+  size_t total_capacity = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total_capacity += shard->capacity;
+    QDLP_CHECK(shard->index.size() <= shard->capacity);
+    QDLP_CHECK(shard->index.size() == shard->mru_list.size());
+    for (auto it = shard->mru_list.begin(); it != shard->mru_list.end();
+         ++it) {
+      const auto entry = shard->index.find(*it);
+      QDLP_CHECK(entry != shard->index.end());
+      QDLP_CHECK(entry->second == it);
+      // Ids hash to the shard that stores them.
+      QDLP_CHECK(&ShardFor(*it) == shard.get());
+    }
+  }
+  QDLP_CHECK(total_capacity == capacity_);
+}
+
 ShardedLruCache::Shard& ShardedLruCache::ShardFor(ObjectId id) {
   return *shards_[SplitMix64(id) % shards_.size()];
 }

@@ -23,6 +23,9 @@ class ShardedLruCache : public ConcurrentCache {
   size_t capacity() const override { return capacity_; }
   const char* name() const override { return "sharded-lru"; }
 
+  // Per-shard list/index agreement and capacity accounting.
+  void CheckInvariants() override;
+
  private:
   struct Shard {
     std::mutex mu;

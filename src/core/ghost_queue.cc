@@ -3,6 +3,9 @@
 namespace qdlp {
 
 void GhostQueue::Insert(ObjectId id) {
+  if (capacity_ == 0) {
+    return;
+  }
   const uint64_t generation = next_generation_++;
   fifo_.emplace_back(id, generation);
   live_[id] = generation;
@@ -27,5 +30,19 @@ void GhostQueue::Insert(ObjectId id) {
 }
 
 bool GhostQueue::Consume(ObjectId id) { return live_.erase(id) > 0; }
+
+void GhostQueue::CheckInvariants() const {
+  QDLP_CHECK(live_.size() <= capacity_);
+  // Stale-record trimming keeps the FIFO from outgrowing the live set by
+  // more than the records consumed since the last Insert.
+  size_t matching = 0;
+  for (const auto& [id, generation] : fifo_) {
+    const auto it = live_.find(id);
+    if (it != live_.end() && it->second == generation) {
+      ++matching;
+    }
+  }
+  QDLP_CHECK(matching == live_.size());
+}
 
 }  // namespace qdlp

@@ -22,9 +22,9 @@ namespace qdlp {
 
 class GhostQueue {
  public:
-  explicit GhostQueue(size_t capacity) : capacity_(capacity) {
-    QDLP_CHECK(capacity >= 1);
-  }
+  // A capacity of 0 is a valid degenerate queue: it remembers nothing, every
+  // Insert is dropped and every Consume misses (QD with no history).
+  explicit GhostQueue(size_t capacity) : capacity_(capacity) {}
 
   // Records an eviction. Re-recording an id refreshes its position.
   void Insert(ObjectId id);
@@ -36,6 +36,20 @@ class GhostQueue {
   bool Contains(ObjectId id) const { return live_.contains(id); }
   size_t size() const { return live_.size(); }
   size_t capacity() const { return capacity_; }
+
+  // Invokes `fn(ObjectId)` for every live ghost entry, in no particular
+  // order. Used by invariant checks (ghost/resident disjointness).
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    for (const auto& [id, generation] : live_) {
+      (void)generation;
+      fn(id);
+    }
+  }
+
+  // Validates internal bookkeeping: the live set never exceeds capacity and
+  // every live entry has a matching (id, generation) record in the FIFO.
+  void CheckInvariants() const;
 
  private:
   size_t capacity_;

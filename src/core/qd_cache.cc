@@ -42,6 +42,26 @@ QdCache::QdCache(size_t probation_capacity,
   main_->set_eviction_listener(main_forwarder_.get());
 }
 
+void QdCache::CheckInvariants() const {
+  QDLP_CHECK(probation_index_.size() <= probation_capacity_);
+  QDLP_CHECK(probation_fifo_.size() == probation_index_.size());
+  QDLP_CHECK(main_->size() <= main_->capacity());
+  QDLP_CHECK(size() <= capacity());
+  for (const ObjectId id : probation_fifo_) {
+    QDLP_CHECK(probation_index_.contains(id));
+    // An object holds space in exactly one region.
+    QDLP_CHECK(!main_->Contains(id));
+    QDLP_CHECK(!ghost_.Contains(id));
+  }
+  // Ghost entries are history, never resident (in either region).
+  ghost_.ForEachLive([&](ObjectId id) {
+    QDLP_CHECK(!probation_index_.contains(id));
+    QDLP_CHECK(!main_->Contains(id));
+  });
+  ghost_.CheckInvariants();
+  main_->CheckInvariants();
+}
+
 void QdCache::EvictFromProbation() {
   QDLP_DCHECK(!probation_fifo_.empty());
   const ObjectId victim = probation_fifo_.front();

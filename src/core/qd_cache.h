@@ -61,6 +61,11 @@ class QdCache : public EvictionPolicy {
   uint64_t quick_demotions() const { return quick_demotions_; }
   uint64_t ghost_admissions() const { return ghost_admissions_; }
 
+  // Probation FIFO/index consistency, probation/main/ghost disjointness,
+  // and capacity accounting for all three regions. Recurses into the main
+  // policy's own CheckInvariants().
+  void CheckInvariants() const override;
+
  protected:
   bool OnAccess(ObjectId id) override;
 

@@ -19,6 +19,27 @@ S3FifoPolicy::S3FifoPolicy(size_t capacity, double small_fraction,
   index_.reserve(capacity);
 }
 
+void S3FifoPolicy::CheckInvariants() const {
+  QDLP_CHECK(index_.size() <= capacity());
+  QDLP_CHECK(small_count_ + main_count_ == index_.size());
+  QDLP_CHECK(small_fifo_.size() == small_count_);
+  QDLP_CHECK(main_fifo_.size() == main_count_);
+  for (const ObjectId id : small_fifo_) {
+    const auto it = index_.find(id);
+    QDLP_CHECK(it != index_.end());
+    QDLP_CHECK(it->second.where == Where::kSmall);
+  }
+  for (const ObjectId id : main_fifo_) {
+    const auto it = index_.find(id);
+    QDLP_CHECK(it != index_.end());
+    QDLP_CHECK(it->second.where == Where::kMain);
+  }
+  // Ghost entries are ids that were evicted; none may still be resident.
+  ghost_.ForEachLive(
+      [&](ObjectId id) { QDLP_CHECK(!index_.contains(id)); });
+  ghost_.CheckInvariants();
+}
+
 void S3FifoPolicy::InsertSmall(ObjectId id) {
   small_fifo_.push_back(id);
   index_[id] = Entry{Where::kSmall, 0};

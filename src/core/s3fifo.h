@@ -35,6 +35,10 @@ class S3FifoPolicy : public EvictionPolicy {
   size_t small_size() const { return small_count_; }
   size_t main_size() const { return main_count_; }
 
+  // Queue-size accounting (small + main partition the resident set) and
+  // ghost/resident disjointness.
+  void CheckInvariants() const override;
+
  protected:
   bool OnAccess(ObjectId id) override;
 
@@ -56,7 +60,9 @@ class S3FifoPolicy : public EvictionPolicy {
   void MakeRoom();
 
   size_t small_capacity_;
-  std::deque<ObjectId> small_fifo_;  // front = oldest; may hold stale ids
+  // Each resident id appears exactly once, in the FIFO matching its
+  // Entry::where (CheckInvariants enforces this).
+  std::deque<ObjectId> small_fifo_;  // front = oldest
   std::deque<ObjectId> main_fifo_;
   size_t small_count_ = 0;
   size_t main_count_ = 0;

@@ -6,6 +6,21 @@ SievePolicy::SievePolicy(size_t capacity) : EvictionPolicy(capacity, "sieve") {
   index_.reserve(capacity);
 }
 
+void SievePolicy::CheckInvariants() const {
+  QDLP_CHECK(queue_.size() == index_.size());
+  QDLP_CHECK(index_.size() <= capacity());
+  bool hand_in_queue = hand_ == queue_.end();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const auto entry = index_.find(it->id);
+    QDLP_CHECK(entry != index_.end());
+    QDLP_CHECK(entry->second == it);
+    if (it == hand_) {
+      hand_in_queue = true;
+    }
+  }
+  QDLP_CHECK(hand_in_queue);
+}
+
 void SievePolicy::EvictOne() {
   QDLP_DCHECK(!queue_.empty());
   // The hand resumes where the previous eviction stopped; when it falls off

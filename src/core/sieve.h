@@ -23,6 +23,9 @@ class SievePolicy : public EvictionPolicy {
   size_t size() const override { return index_.size(); }
   bool Contains(ObjectId id) const override { return index_.contains(id); }
 
+  // Queue/index consistency and the hand pointing inside the queue.
+  void CheckInvariants() const override;
+
  protected:
   bool OnAccess(ObjectId id) override;
 

@@ -37,6 +37,30 @@ bool ArcPolicy::Contains(ObjectId id) const {
   return it->second.list == ListId::kT1 || it->second.list == ListId::kT2;
 }
 
+void ArcPolicy::CheckInvariants() const {
+  const size_t c = capacity();
+  QDLP_CHECK(t1_.size() + t2_.size() <= c);
+  QDLP_CHECK(t1_.size() + b1_.size() <= c);
+  QDLP_CHECK(t1_.size() + t2_.size() + b1_.size() + b2_.size() <= 2 * c);
+  QDLP_CHECK(p_ >= 0.0 && p_ <= static_cast<double>(c));
+  QDLP_CHECK(index_.size() ==
+             t1_.size() + t2_.size() + b1_.size() + b2_.size());
+  // Every list member is indexed under the matching list id with a valid
+  // iterator; index_.size() matching the sum above rules out duplicates.
+  const auto check_list = [&](const std::list<ObjectId>& list, ListId id) {
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      const auto entry = index_.find(*it);
+      QDLP_CHECK(entry != index_.end());
+      QDLP_CHECK(entry->second.list == id);
+      QDLP_CHECK(entry->second.position == it);
+    }
+  };
+  check_list(t1_, ListId::kT1);
+  check_list(t2_, ListId::kT2);
+  check_list(b1_, ListId::kB1);
+  check_list(b2_, ListId::kB2);
+}
+
 std::list<ObjectId>& ArcPolicy::ListFor(ListId list) {
   switch (list) {
     case ListId::kT1:

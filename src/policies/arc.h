@@ -39,6 +39,10 @@ class ArcPolicy : public EvictionPolicy {
   size_t b2_size() const { return b2_.size(); }
   double target_p() const { return p_; }
 
+  // FAST'03 §I.B invariants: |T1|+|T2| <= c, |T1|+|B1| <= c,
+  // |T1|+|T2|+|B1|+|B2| <= 2c, p in [0, c], plus index/list consistency.
+  void CheckInvariants() const override;
+
  protected:
   bool OnAccess(ObjectId id) override;
 

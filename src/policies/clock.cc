@@ -21,6 +21,27 @@ ClockPolicy::ClockPolicy(size_t capacity, int bits)
   index_.reserve(capacity);
 }
 
+void ClockPolicy::CheckInvariants() const {
+  QDLP_CHECK(ring_.size() <= capacity());
+  QDLP_CHECK(index_.size() <= capacity());
+  size_t occupied = 0;
+  for (size_t slot = 0; slot < ring_.size(); ++slot) {
+    if (!ring_[slot].occupied) {
+      continue;
+    }
+    ++occupied;
+    QDLP_CHECK(ring_[slot].counter <= max_counter_);
+    const auto it = index_.find(ring_[slot].id);
+    QDLP_CHECK(it != index_.end());
+    QDLP_CHECK(it->second == slot);
+  }
+  QDLP_CHECK(occupied == index_.size());
+  for (const size_t slot : free_slots_) {
+    QDLP_CHECK(slot < ring_.size());
+    QDLP_CHECK(!ring_[slot].occupied);
+  }
+}
+
 bool ClockPolicy::OnAccess(ObjectId id) {
   const auto it = index_.find(id);
   if (it != index_.end()) {

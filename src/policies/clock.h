@@ -34,6 +34,10 @@ class ClockPolicy : public EvictionPolicy {
 
   int bits() const { return bits_; }
 
+  // Ring/index consistency: occupied slots are exactly the indexed ids,
+  // freed slots are tracked, counters respect the bit width.
+  void CheckInvariants() const override;
+
  protected:
   bool OnAccess(ObjectId id) override;
 

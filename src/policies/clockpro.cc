@@ -1,6 +1,7 @@
 #include "src/policies/clockpro.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace qdlp {
 
@@ -14,6 +15,47 @@ ClockProPolicy::ClockProPolicy(size_t capacity)
 
 bool ClockProPolicy::Contains(ObjectId id) const {
   return entries_.contains(id);
+}
+
+void ClockProPolicy::CheckInvariants() const {
+  QDLP_CHECK(hot_count_ + cold_count_ <= capacity());
+  QDLP_CHECK(hot_count_ + cold_count_ == entries_.size());
+  QDLP_CHECK(cold_target_ >= 1 && cold_target_ <= capacity());
+  QDLP_CHECK(test_live_.size() <= capacity());
+  std::unordered_set<ObjectId> in_hot_queue(hot_queue_.begin(),
+                                            hot_queue_.end());
+  std::unordered_set<ObjectId> in_cold_queue(cold_queue_.begin(),
+                                             cold_queue_.end());
+  size_t hot = 0;
+  size_t cold = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.state == State::kHot) {
+      ++hot;
+      // A resident page must be reachable by its hand, or it can never be
+      // evicted (a space leak). Stale records in the other queue are fine.
+      QDLP_CHECK(in_hot_queue.contains(id));
+    } else {
+      ++cold;
+      QDLP_CHECK(in_cold_queue.contains(id));
+    }
+    // A resident page must not simultaneously be non-resident test metadata.
+    QDLP_CHECK(!test_live_.contains(id));
+  }
+  QDLP_CHECK(hot == hot_count_);
+  QDLP_CHECK(cold == cold_count_);
+  // Every live test entry's generation record is still queued (hand_test
+  // trimming drops the live entry together with its record).
+  size_t matching = 0;
+  std::unordered_map<ObjectId, size_t> pending;
+  for (const ObjectId id : test_fifo_) {
+    ++pending[id];
+  }
+  for (const auto& [id, generation] : test_live_) {
+    (void)generation;
+    QDLP_CHECK(pending.contains(id));
+    ++matching;
+  }
+  QDLP_CHECK(matching == test_live_.size());
 }
 
 void ClockProPolicy::GrowColdTarget() {

@@ -44,6 +44,11 @@ class ClockProPolicy : public EvictionPolicy {
   size_t cold_target() const { return cold_target_; }
   size_t nonresident_count() const { return test_live_.size(); }
 
+  // Queue-size accounting, resident/non-resident disjointness, and the
+  // ATC'05 bounds: hot+cold <= capacity, test metadata <= capacity,
+  // cold_target in [1, capacity].
+  void CheckInvariants() const override;
+
  protected:
   bool OnAccess(ObjectId id) override;
 

@@ -45,10 +45,28 @@ class EvictionPolicy {
 
   // Requests `id`. Returns true on a cache hit. On a miss the object is
   // admitted (possibly evicting), so a policy is also an admission point.
+  //
+  // When the build defines QDLP_CHECK_INVARIANTS (CMake option of the same
+  // name; on in the debug/sanitizer presets, off in Release so benchmark
+  // numbers are unaffected), every access re-validates the policy's
+  // structural invariants via CheckInvariants() and aborts on violation.
   bool Access(ObjectId id) {
     ++now_;
-    return OnAccess(id);
+    const bool hit = OnAccess(id);
+#ifdef QDLP_CHECK_INVARIANTS
+    CheckInvariants();
+#endif
+    return hit;
   }
+
+  // Validates the policy's internal invariants (queue-size accounting,
+  // ghost/resident disjointness, index consistency, ...) with QDLP_CHECK,
+  // aborting on violation. O(size) — test/debug machinery, not a hot-path
+  // operation. The default is a no-op; policies with nontrivial internal
+  // state override it. Always compiled (the correctness harness calls it
+  // explicitly in every build mode); only the per-access hook above is
+  // gated behind QDLP_CHECK_INVARIANTS.
+  virtual void CheckInvariants() const {}
 
   // Number of objects currently holding cache space.
   virtual size_t size() const = 0;

@@ -32,6 +32,66 @@ bool LirsPolicy::StackBottomIsLir() const {
   return index_.at(stack_.back()).state == State::kLir;
 }
 
+void LirsPolicy::CheckInvariants() const {
+  QDLP_CHECK(resident_count_ <= capacity());
+  QDLP_CHECK(lir_count_ <= lir_capacity_);
+  QDLP_CHECK(nonresident_count_ <= max_nonresident_);
+  QDLP_CHECK(StackBottomIsLir());
+  // Recount states from the index and cross-check the cached tallies.
+  size_t lir = 0;
+  size_t hir_resident = 0;
+  size_t hir_nonresident = 0;
+  for (const auto& [id, entry] : index_) {
+    switch (entry.state) {
+      case State::kLir:
+        ++lir;
+        // LIR blocks are always on the stack and never in Q.
+        QDLP_CHECK(entry.in_stack);
+        QDLP_CHECK(!entry.in_queue);
+        break;
+      case State::kHirResident:
+        ++hir_resident;
+        QDLP_CHECK(entry.in_queue);
+        break;
+      case State::kHirNonResident:
+        ++hir_nonresident;
+        // Non-resident metadata only exists while it can still matter: the
+        // id must sit in stack S (otherwise it should have been dropped).
+        QDLP_CHECK(entry.in_stack);
+        QDLP_CHECK(!entry.in_queue);
+        break;
+    }
+  }
+  QDLP_CHECK(lir == lir_count_);
+  QDLP_CHECK(lir + hir_resident == resident_count_);
+  QDLP_CHECK(hir_nonresident == nonresident_count_);
+  // Q is exactly the resident HIR set.
+  QDLP_CHECK(queue_.size() == hir_resident);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const auto entry = index_.find(*it);
+    QDLP_CHECK(entry != index_.end());
+    QDLP_CHECK(entry->second.state == State::kHirResident);
+    QDLP_CHECK(entry->second.in_queue);
+    QDLP_CHECK(entry->second.queue_position == it);
+  }
+  // Stack membership flags match the actual stack contents.
+  size_t on_stack = 0;
+  for (auto it = stack_.begin(); it != stack_.end(); ++it) {
+    const auto entry = index_.find(*it);
+    QDLP_CHECK(entry != index_.end());
+    QDLP_CHECK(entry->second.in_stack);
+    QDLP_CHECK(entry->second.stack_position == it);
+    ++on_stack;
+  }
+  size_t flagged_in_stack = 0;
+  for (const auto& [id, entry] : index_) {
+    if (entry.in_stack) {
+      ++flagged_in_stack;
+    }
+  }
+  QDLP_CHECK(on_stack == flagged_in_stack);
+}
+
 void LirsPolicy::PushStackTop(ObjectId id, Entry& entry) {
   if (entry.in_stack) {
     stack_.erase(entry.stack_position);

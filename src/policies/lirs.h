@@ -40,6 +40,12 @@ class LirsPolicy : public EvictionPolicy {
   // True when the bottom of stack S is a LIR block (core LIRS invariant).
   bool StackBottomIsLir() const;
 
+  // LIRS invariants (SIGMETRICS'02 §3.3, plus the §4-footnote-4 pitfalls):
+  // stack bottom is LIR, LIR blocks never exceed the LIR allocation, Q holds
+  // exactly the resident HIR blocks, and the non-resident metadata stays
+  // within its configured bound.
+  void CheckInvariants() const override;
+
  protected:
   bool OnAccess(ObjectId id) override;
 

@@ -26,6 +26,27 @@ WTinyLfuPolicy::WTinyLfuPolicy(size_t capacity, double window_fraction,
   index_.reserve(capacity);
 }
 
+void WTinyLfuPolicy::CheckInvariants() const {
+  QDLP_CHECK(window_.size() <= window_capacity_);
+  QDLP_CHECK(protected_.size() <= protected_capacity_);
+  QDLP_CHECK(probation_.size() + protected_.size() <= main_capacity_);
+  QDLP_CHECK(window_.size() + probation_.size() + protected_.size() ==
+             index_.size());
+  QDLP_CHECK(index_.size() <= capacity());
+  const auto check_segment = [&](const std::list<ObjectId>& list,
+                                 Segment segment) {
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      const auto entry = index_.find(*it);
+      QDLP_CHECK(entry != index_.end());
+      QDLP_CHECK(entry->second.segment == segment);
+      QDLP_CHECK(entry->second.position == it);
+    }
+  };
+  check_segment(window_, Segment::kWindow);
+  check_segment(probation_, Segment::kProbation);
+  check_segment(protected_, Segment::kProtected);
+}
+
 void WTinyLfuPolicy::RecordFrequency(ObjectId id) {
   // Doorkeeper: the first touch in each aging window sets a bit; only
   // repeat touches reach the sketch.

@@ -35,6 +35,11 @@ class WTinyLfuPolicy : public EvictionPolicy {
   uint64_t admissions() const { return admissions_; }
   uint64_t rejections() const { return rejections_; }
 
+  // Segment-size accounting (window/probation/protected partition the
+  // resident set; window and protected respect their allocations) and
+  // index/list consistency.
+  void CheckInvariants() const override;
+
  protected:
   bool OnAccess(ObjectId id) override;
 

@@ -1,6 +1,8 @@
 #include "src/trace/trace_io.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <unordered_map>
@@ -25,11 +27,7 @@ bool WriteTraceBinary(const Trace& trace, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<Trace> ReadTraceBinary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return std::nullopt;
-  }
+std::optional<Trace> ParseTraceBinary(std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -46,14 +44,35 @@ std::optional<Trace> ReadTraceBinary(const std::string& path) {
     return std::nullopt;
   }
   Trace trace;
-  trace.name = path;
-  trace.requests.resize(count);
-  in.read(reinterpret_cast<char*>(trace.requests.data()),
-          static_cast<std::streamsize>(count * sizeof(ObjectId)));
+  // Read in bounded chunks rather than trusting the header's count with one
+  // big resize: a corrupt header claiming billions of records then costs
+  // only as many bytes as the stream actually holds.
+  constexpr uint64_t kChunk = 1ULL << 16;
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    const size_t batch = static_cast<size_t>(std::min(remaining, kChunk));
+    const size_t old_size = trace.requests.size();
+    trace.requests.resize(old_size + batch);
+    in.read(reinterpret_cast<char*>(trace.requests.data() + old_size),
+            static_cast<std::streamsize>(batch * sizeof(ObjectId)));
+    if (!in) {
+      return std::nullopt;
+    }
+    remaining -= batch;
+  }
+  trace.num_objects = CountUniqueObjects(trace.requests);
+  return trace;
+}
+
+std::optional<Trace> ReadTraceBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     return std::nullopt;
   }
-  trace.num_objects = CountUniqueObjects(trace.requests);
+  auto trace = ParseTraceBinary(in);
+  if (trace.has_value()) {
+    trace->name = path;
+  }
   return trace;
 }
 
@@ -69,13 +88,8 @@ bool WriteTraceCsv(const Trace& trace, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<Trace> ReadTraceCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return std::nullopt;
-  }
+std::optional<Trace> ParseTraceCsv(std::istream& in) {
   Trace trace;
-  trace.name = path;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') {
@@ -89,6 +103,18 @@ std::optional<Trace> ReadTraceCsv(const std::string& path) {
     trace.requests.push_back(static_cast<ObjectId>(id));
   }
   trace.num_objects = CountUniqueObjects(trace.requests);
+  return trace;
+}
+
+std::optional<Trace> ReadTraceCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  auto trace = ParseTraceCsv(in);
+  if (trace.has_value()) {
+    trace->name = path;
+  }
   return trace;
 }
 
@@ -132,21 +158,20 @@ bool WriteTraceOracleGeneral(const Trace& trace, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<Trace> ReadTraceOracleGeneral(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+std::optional<Trace> ParseTraceOracleGeneral(std::istream& in) {
+  const std::streamoff start = in.tellg();
+  if (start < 0) {
     return std::nullopt;
   }
   in.seekg(0, std::ios::end);
-  const std::streamoff bytes = in.tellg();
-  in.seekg(0, std::ios::beg);
+  const std::streamoff bytes = in.tellg() - start;
+  in.seekg(start, std::ios::beg);
   if (bytes < 0 || bytes % static_cast<std::streamoff>(
                                sizeof(OracleGeneralRecord)) != 0) {
     return std::nullopt;
   }
   const size_t count = static_cast<size_t>(bytes) / sizeof(OracleGeneralRecord);
   Trace trace;
-  trace.name = path;
   trace.requests.reserve(count);
   OracleGeneralRecord record;
   for (size_t i = 0; i < count; ++i) {
@@ -157,6 +182,18 @@ std::optional<Trace> ReadTraceOracleGeneral(const std::string& path) {
     trace.requests.push_back(record.object_id);
   }
   trace.num_objects = CountUniqueObjects(trace.requests);
+  return trace;
+}
+
+std::optional<Trace> ReadTraceOracleGeneral(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  auto trace = ParseTraceOracleGeneral(in);
+  if (trace.has_value()) {
+    trace->name = path;
+  }
   return trace;
 }
 

@@ -9,6 +9,7 @@
 #ifndef QDLP_SRC_TRACE_TRACE_IO_H_
 #define QDLP_SRC_TRACE_TRACE_IO_H_
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -23,6 +24,15 @@ std::optional<Trace> ReadTraceBinary(const std::string& path);
 
 bool WriteTraceCsv(const Trace& trace, const std::string& path);
 std::optional<Trace> ReadTraceCsv(const std::string& path);
+
+// Stream-level parsers behind the file readers. They consume from the
+// stream's current position and leave `name` empty; the fuzz harness feeds
+// them in-memory buffers (std::istringstream), so every byte of the format
+// handling is reachable without touching the filesystem. The stream must be
+// seekable for the oracleGeneral variant (files and stringstreams are).
+std::optional<Trace> ParseTraceBinary(std::istream& in);
+std::optional<Trace> ParseTraceCsv(std::istream& in);
+std::optional<Trace> ParseTraceOracleGeneral(std::istream& in);
 
 // libCacheSim "oracleGeneral" binary format, so traces prepared for that
 // simulator (including the public MSR/Twitter conversions) replay here

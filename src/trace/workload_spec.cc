@@ -1,0 +1,204 @@
+#include "src/trace/workload_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/generators.h"
+
+namespace qdlp {
+
+namespace {
+
+using ParamMap = std::unordered_map<std::string, std::string>;
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+std::vector<std::string> SplitCommas(const std::string& value) {
+  std::vector<std::string> parts;
+  std::stringstream stream(value);
+  std::string part;
+  while (std::getline(stream, part, ',')) {
+    if (!part.empty()) {
+      parts.push_back(part);
+    }
+  }
+  return parts;
+}
+
+// Strict numeric parsing: the whole value must be consumed. (The CLI used
+// to atof/strtoull leniently; untrusted specs deserve real validation.)
+bool ParamDouble(const ParamMap& params, const std::string& key,
+                 double fallback, double* out) {
+  const auto it = params.find(key);
+  if (it == params.end()) {
+    *out = fallback;
+    return true;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0' || !std::isfinite(value)) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParamInt(const ParamMap& params, const std::string& key,
+              uint64_t fallback, uint64_t* out) {
+  const auto it = params.find(key);
+  if (it == params.end()) {
+    *out = fallback;
+    return true;
+  }
+  char* end = nullptr;
+  const unsigned long long value =
+      std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+uint64_t Clamp(uint64_t value, uint64_t limit) {
+  return limit == 0 ? value : std::min(value, limit);
+}
+
+bool PositiveSkew(double skew) { return skew > 0.0 && skew <= 100.0; }
+
+bool Fraction(double value) { return value >= 0.0 && value < 1.0; }
+
+}  // namespace
+
+std::optional<Trace> BuildWorkload(const std::string& spec,
+                                   std::string* error,
+                                   const WorkloadSpecLimits& limits) {
+  const auto parts = SplitCommas(spec);
+  if (parts.empty()) {
+    SetError(error, "empty workload spec");
+    return std::nullopt;
+  }
+  const std::string kind = parts[0];
+  ParamMap params;
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const size_t eq = parts[i].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      SetError(error,
+               "workload parameter '" + parts[i] + "' is not key=value");
+      return std::nullopt;
+    }
+    params[parts[i].substr(0, eq)] = parts[i].substr(eq + 1);
+  }
+
+  uint64_t requests = 0;
+  uint64_t seed = 0;
+  uint64_t objects = 0;
+  double skew = 0.0;
+  if (!ParamInt(params, "requests", 200000, &requests) ||
+      !ParamInt(params, "seed", 1, &seed)) {
+    SetError(error, "malformed numeric parameter in '" + spec + "'");
+    return std::nullopt;
+  }
+  requests = Clamp(requests, limits.max_requests);
+
+  // Every generator validates its config with aborting checks; reject bad
+  // parameter values here so untrusted specs fail soft instead.
+  Trace trace;
+  if (kind == "zipf") {
+    if (!ParamInt(params, "objects", 20000, &objects) ||
+        !ParamDouble(params, "skew", 1.0, &skew) || objects < 1 ||
+        !PositiveSkew(skew)) {
+      SetError(error, "bad zipf parameters in '" + spec + "'");
+      return std::nullopt;
+    }
+    ZipfTraceConfig config;
+    config.num_requests = requests;
+    config.num_objects = Clamp(objects, limits.max_objects);
+    config.skew = skew;
+    config.seed = seed;
+    trace = GenerateZipf(config);
+  } else if (kind == "web") {
+    double wonders = 0.0;
+    double intro = 0.0;
+    if (!ParamDouble(params, "wonders", 0.15, &wonders) ||
+        !ParamDouble(params, "skew", 0.8, &skew) ||
+        !ParamInt(params, "objects", 2000, &objects) ||
+        !ParamDouble(params, "intro", 0.10, &intro) || objects < 1 ||
+        !PositiveSkew(skew) || !Fraction(wonders) || !Fraction(intro)) {
+      SetError(error, "bad web parameters in '" + spec + "'");
+      return std::nullopt;
+    }
+    PopularityDecayConfig config;
+    config.num_requests = requests;
+    config.one_hit_wonder_fraction = wonders;
+    config.recency_skew = skew;
+    config.initial_objects = Clamp(objects, limits.max_objects);
+    config.introduction_rate = intro;
+    config.seed = seed;
+    trace = GeneratePopularityDecay(config);
+  } else if (kind == "block") {
+    double scan = 0.0;
+    double loop = 0.0;
+    if (!ParamInt(params, "objects", 8000, &objects) ||
+        !ParamDouble(params, "skew", 1.0, &skew) ||
+        !ParamDouble(params, "scan", 0.002, &scan) ||
+        !ParamDouble(params, "loop", 0.001, &loop) || objects < 1 ||
+        !PositiveSkew(skew) || !Fraction(scan) || !Fraction(loop)) {
+      SetError(error, "bad block parameters in '" + spec + "'");
+      return std::nullopt;
+    }
+    ScanLoopConfig config;
+    config.num_requests = requests;
+    config.hot_objects = Clamp(objects, limits.max_objects);
+    config.hot_skew = skew;
+    config.scan_start_probability = scan;
+    config.loop_start_probability = loop;
+    config.seed = seed;
+    trace = GenerateScanLoop(config);
+  } else if (kind == "kv") {
+    if (!ParamInt(params, "objects", 6000, &objects) ||
+        !ParamDouble(params, "skew", 1.2, &skew) || objects < 1 ||
+        !PositiveSkew(skew)) {
+      SetError(error, "bad kv parameters in '" + spec + "'");
+      return std::nullopt;
+    }
+    HighReuseKvConfig config;
+    config.num_requests = requests;
+    config.num_objects = Clamp(objects, limits.max_objects);
+    config.skew = skew;
+    config.seed = seed;
+    trace = GenerateHighReuseKv(config);
+  } else if (kind == "phase") {
+    uint64_t phase = 0;
+    if (!ParamInt(params, "objects", 2000, &objects) ||
+        !ParamDouble(params, "skew", 0.8, &skew) ||
+        !ParamInt(params, "phase", 10000, &phase) || objects < 1 ||
+        phase < 1 || !PositiveSkew(skew)) {
+      SetError(error, "bad phase parameters in '" + spec + "'");
+      return std::nullopt;
+    }
+    PhaseChangeConfig config;
+    config.num_requests = requests;
+    config.working_set = Clamp(objects, limits.max_objects);
+    config.skew = skew;
+    config.phase_length = phase;
+    config.seed = seed;
+    trace = GeneratePhaseChange(config);
+  } else {
+    SetError(error, "unknown workload kind '" + kind + "'");
+    return std::nullopt;
+  }
+  trace.name = spec;
+  trace.dataset = kind;
+  return trace;
+}
+
+}  // namespace qdlp

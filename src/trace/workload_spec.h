@@ -1,0 +1,38 @@
+// Textual workload specifications.
+//
+// A spec is "<kind>[,key=value]...", e.g. "zipf,objects=50000,skew=1.0" or
+// "web,requests=30000". Kinds map onto the synthetic generators
+// (generators.h): zipf, web (popularity decay), block (scan/loop), kv
+// (high-reuse), phase (working-set phases). This used to live inside the
+// qdlp_sim CLI; it is a library so the CLI, tests, and the fuzz harness
+// share one parser.
+
+#ifndef QDLP_SRC_TRACE_WORKLOAD_SPEC_H_
+#define QDLP_SRC_TRACE_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace qdlp {
+
+// Hard ceilings applied after parsing, before generation. Untrusted specs
+// (fuzzing, config files) otherwise turn "requests=99999999999" into an
+// allocation bomb. 0 = unlimited (the CLI default).
+struct WorkloadSpecLimits {
+  uint64_t max_requests = 0;
+  uint64_t max_objects = 0;
+};
+
+// Parses `spec` and runs the matching generator. Returns nullopt on a
+// malformed spec (unknown kind, parameter without '='); when `error` is
+// non-null it receives a one-line description. Never aborts on bad input.
+std::optional<Trace> BuildWorkload(const std::string& spec,
+                                   std::string* error = nullptr,
+                                   const WorkloadSpecLimits& limits = {});
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_TRACE_WORKLOAD_SPEC_H_

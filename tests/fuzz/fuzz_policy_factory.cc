@@ -1,0 +1,38 @@
+// Fuzz target: the policy factory's name parser plus a short replay. An
+// arbitrary name string must either resolve to a working policy or return
+// nullptr — no crashes, no aborts (capacity is kept >= 2 so QD compositions
+// are always legal). Resolved policies take a deterministic burst of
+// accesses with periodic invariant validation.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/core/policy_factory.h"
+#include "src/util/random.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 2) {
+    return 0;
+  }
+  const size_t capacity =
+      2 + ((static_cast<size_t>(data[0]) | (static_cast<size_t>(data[1]) << 8)) %
+           2048);
+  constexpr size_t kMaxName = 48;
+  const size_t name_length = (size - 2) < kMaxName ? (size - 2) : kMaxName;
+  const std::string name(reinterpret_cast<const char*>(data + 2), name_length);
+
+  // "belady" needs a trace; the factory must return nullptr, not crash.
+  const auto policy = qdlp::MakePolicy(name, capacity);
+  if (policy == nullptr) {
+    return 0;
+  }
+  for (uint64_t i = 0; i < 512; ++i) {
+    policy->Access(qdlp::SplitMix64(i) % (capacity * 4));
+    if (i % 64 == 0) {
+      policy->CheckInvariants();
+    }
+  }
+  policy->CheckInvariants();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fuzz target: the three trace parsers (QDT1 binary, CSV, oracleGeneral)
+// against arbitrary bytes. Parsers must reject malformed input with nullopt
+// — never crash, over-allocate, or read out of bounds. Successfully parsed
+// traces are additionally replayed through a small policy so the downstream
+// contract (arbitrary ids are safe) is exercised too.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "src/core/policy_factory.h"
+#include "src/trace/trace.h"
+#include "src/trace/trace_io.h"
+
+namespace {
+
+constexpr size_t kMaxReplay = 4096;
+
+void ReplayThroughPolicy(const qdlp::Trace& trace) {
+  const auto policy = qdlp::MakePolicy("s3fifo", 32);
+  const size_t limit = trace.requests.size() < kMaxReplay
+                           ? trace.requests.size()
+                           : kMaxReplay;
+  for (size_t i = 0; i < limit; ++i) {
+    policy->Access(trace.requests[i]);
+  }
+  policy->CheckInvariants();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string buffer(reinterpret_cast<const char*>(data), size);
+  {
+    std::istringstream in(buffer);
+    const auto trace = qdlp::ParseTraceBinary(in);
+    if (trace.has_value()) {
+      ReplayThroughPolicy(*trace);
+    }
+  }
+  {
+    std::istringstream in(buffer);
+    const auto trace = qdlp::ParseTraceCsv(in);
+    if (trace.has_value()) {
+      ReplayThroughPolicy(*trace);
+    }
+  }
+  {
+    std::istringstream in(buffer);
+    const auto trace = qdlp::ParseTraceOracleGeneral(in);
+    if (trace.has_value()) {
+      ReplayThroughPolicy(*trace);
+    }
+  }
+  return 0;
+}

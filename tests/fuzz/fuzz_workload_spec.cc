@@ -1,0 +1,32 @@
+// Fuzz target: the workload-spec parser ("zipf,objects=...,skew=..."). A
+// malformed spec must produce a soft error, never an aborting QDLP_CHECK
+// inside a generator or an oversized allocation; the limits passed here cap
+// whatever a hostile spec asks for.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/trace/workload_spec.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  constexpr size_t kMaxSpec = 160;
+  const std::string spec(reinterpret_cast<const char*>(data),
+                         size < kMaxSpec ? size : kMaxSpec);
+
+  qdlp::WorkloadSpecLimits limits;
+  limits.max_requests = 4096;
+  limits.max_objects = 4096;
+
+  std::string error;
+  const auto trace = qdlp::BuildWorkload(spec, &error, limits);
+  if (trace.has_value()) {
+    // The limits are a hard contract, not advice.
+    if (trace->requests.size() > limits.max_requests) {
+      __builtin_trap();
+    }
+  } else if (error.empty()) {
+    __builtin_trap();  // failures must explain themselves
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Standalone driver for the fuzz entrypoints.
+//
+// Each fuzz target defines the libFuzzer ABI (LLVMFuzzerTestOneInput). When
+// the toolchain has libFuzzer (clang, -DQDLP_LIBFUZZER=ON) the real fuzzer
+// provides main() and this file is not compiled. GCC-only builds get this
+// driver instead, with two modes:
+//
+//   <binary> FILE...        replay saved inputs (crash reproducers, corpus)
+//   <binary> [--smoke [N]]  deterministic smoke run: N pseudo-random inputs
+//                           (default 2000) in three flavours — raw bytes,
+//                           QDT1-framed bytes, and printable spec-ish text —
+//                           so every target gets plausible input shapes.
+//
+// The smoke mode is wired into ctest (label "fuzz"): it is not a fuzzer,
+// but it keeps the entrypoints compiled, linked, and crash-free in CI.
+
+#ifndef QDLP_LIBFUZZER
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/util/random.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int ReplayFile(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  std::printf("replayed %s (%zu bytes)\n", path, bytes.size());
+  return 0;
+}
+
+void FillRandom(qdlp::Rng& rng, std::vector<uint8_t>& buffer, size_t length) {
+  buffer.resize(length);
+  for (size_t i = 0; i < length; ++i) {
+    buffer[i] = static_cast<uint8_t>(rng.NextBounded(256));
+  }
+}
+
+int SmokeRun(uint64_t iterations) {
+  qdlp::Rng rng(0x51u);  // fixed seed: the smoke run is deterministic
+  std::vector<uint8_t> buffer;
+  constexpr char kSpecAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789,=.-";
+  for (uint64_t i = 0; i < iterations; ++i) {
+    switch (i % 3) {
+      case 0:  // raw bytes
+        FillRandom(rng, buffer, rng.NextBounded(513));
+        break;
+      case 1: {  // QDT1-framed: magic + count header + payload
+        const uint64_t count = rng.NextBounded(64);
+        FillRandom(rng, buffer, rng.NextBounded(count * 8 + 9));
+        buffer.insert(buffer.begin(), reinterpret_cast<const uint8_t*>(&count),
+                      reinterpret_cast<const uint8_t*>(&count) + 8);
+        const uint8_t magic[4] = {'Q', 'D', 'T', '1'};
+        buffer.insert(buffer.begin(), magic, magic + 4);
+        break;
+      }
+      default: {  // printable workload-spec-ish text
+        const size_t length = rng.NextBounded(65);
+        buffer.resize(length);
+        for (size_t j = 0; j < length; ++j) {
+          buffer[j] = static_cast<uint8_t>(
+              kSpecAlphabet[rng.NextBounded(sizeof(kSpecAlphabet) - 1)]);
+        }
+        break;
+      }
+    }
+    LLVMFuzzerTestOneInput(buffer.data(), buffer.size());
+  }
+  std::printf("smoke: %llu inputs, no crash\n",
+              static_cast<unsigned long long>(iterations));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc <= 1) {
+    return SmokeRun(2000);
+  }
+  if (std::strcmp(argv[1], "--smoke") == 0) {
+    const uint64_t iterations =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000;
+    return SmokeRun(iterations);
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    rc |= ReplayFile(argv[i]);
+  }
+  return rc;
+}
+
+#endif  // !QDLP_LIBFUZZER

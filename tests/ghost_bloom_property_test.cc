@@ -1,0 +1,195 @@
+// Property tests for the two history structures the QD machinery leans on:
+// the ghost FIFO queue (eviction history) and the blocked Bloom filter
+// (TinyLFU's doorkeeper). Exercised at degenerate capacities (0, 1), with
+// duplicate inserts, at-capacity eviction order, randomized cross-checks
+// against a naive model, and a false-positive-rate bound under load.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/ghost_queue.h"
+#include "src/util/bloom_filter.h"
+#include "src/util/random.h"
+
+namespace qdlp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GhostQueue
+
+TEST(GhostQueueTest, CapacityZeroRemembersNothing) {
+  GhostQueue ghost(0);
+  ghost.Insert(1);
+  ghost.Insert(2);
+  EXPECT_EQ(ghost.size(), 0u);
+  EXPECT_FALSE(ghost.Contains(1));
+  EXPECT_FALSE(ghost.Consume(1));
+  ghost.CheckInvariants();
+}
+
+TEST(GhostQueueTest, CapacityOneKeepsOnlyTheNewest) {
+  GhostQueue ghost(1);
+  ghost.Insert(1);
+  EXPECT_TRUE(ghost.Contains(1));
+  ghost.Insert(2);
+  EXPECT_FALSE(ghost.Contains(1)) << "older entry must have been evicted";
+  EXPECT_TRUE(ghost.Contains(2));
+  EXPECT_EQ(ghost.size(), 1u);
+  ghost.CheckInvariants();
+}
+
+TEST(GhostQueueTest, ConsumeRemovesExactlyOnce) {
+  GhostQueue ghost(4);
+  ghost.Insert(7);
+  EXPECT_TRUE(ghost.Consume(7));
+  EXPECT_FALSE(ghost.Consume(7)) << "each ghost hit is consumed";
+  EXPECT_EQ(ghost.size(), 0u);
+  ghost.CheckInvariants();
+}
+
+TEST(GhostQueueTest, DuplicateInsertRefreshesPosition) {
+  GhostQueue ghost(3);
+  ghost.Insert(1);
+  ghost.Insert(2);
+  ghost.Insert(3);
+  // Re-inserting 1 refreshes it to the newest slot; the next two inserts
+  // must evict 2 and 3 (now the oldest), never the refreshed 1.
+  ghost.Insert(1);
+  ghost.Insert(4);
+  ghost.Insert(5);
+  EXPECT_TRUE(ghost.Contains(1));
+  EXPECT_FALSE(ghost.Contains(2));
+  EXPECT_FALSE(ghost.Contains(3));
+  EXPECT_EQ(ghost.size(), 3u);
+  ghost.CheckInvariants();
+}
+
+TEST(GhostQueueTest, EvictionAtCapacityIsFifoOrder) {
+  constexpr size_t kCapacity = 8;
+  GhostQueue ghost(kCapacity);
+  for (ObjectId id = 0; id < 2 * kCapacity; ++id) {
+    ghost.Insert(id);
+    EXPECT_LE(ghost.size(), kCapacity);
+  }
+  for (ObjectId id = 0; id < kCapacity; ++id) {
+    EXPECT_FALSE(ghost.Contains(id)) << "id " << id;
+  }
+  for (ObjectId id = kCapacity; id < 2 * kCapacity; ++id) {
+    EXPECT_TRUE(ghost.Contains(id)) << "id " << id;
+  }
+  ghost.CheckInvariants();
+}
+
+// Randomized differential check against a naive deque model: inserts,
+// refreshes, and consumes over a small id universe so every interaction
+// (stale records, generation mismatches, trimming) gets exercised.
+TEST(GhostQueueTest, MatchesNaiveModelUnderRandomOps) {
+  constexpr size_t kCapacity = 16;
+  GhostQueue ghost(kCapacity);
+  std::deque<ObjectId> model;  // front = oldest, unique entries
+
+  Rng rng(2024);
+  for (int step = 0; step < 20000; ++step) {
+    const ObjectId id = rng.NextBounded(48);
+    if (rng.NextBool(0.35)) {
+      const bool model_hit =
+          std::find(model.begin(), model.end(), id) != model.end();
+      if (model_hit) {
+        model.erase(std::find(model.begin(), model.end(), id));
+      }
+      ASSERT_EQ(ghost.Consume(id), model_hit) << "step " << step;
+    } else {
+      const auto it = std::find(model.begin(), model.end(), id);
+      if (it != model.end()) {
+        model.erase(it);
+      }
+      model.push_back(id);
+      if (model.size() > kCapacity) {
+        model.pop_front();
+      }
+      ghost.Insert(id);
+    }
+    ASSERT_EQ(ghost.size(), model.size()) << "step " << step;
+    if (step % 97 == 0) {
+      for (const ObjectId check : model) {
+        ASSERT_TRUE(ghost.Contains(check)) << "step " << step;
+      }
+      ghost.CheckInvariants();
+    }
+  }
+  ghost.CheckInvariants();
+}
+
+// ---------------------------------------------------------------------------
+// BloomFilter
+
+TEST(BloomFilterTest, MinimalCapacityWorks) {
+  BloomFilter filter(1);
+  EXPECT_FALSE(filter.MayContain(99));
+  filter.Insert(99);
+  EXPECT_TRUE(filter.MayContain(99));
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(1000);
+  std::vector<uint64_t> keys;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back(rng.Next());
+    filter.Insert(keys.back());
+  }
+  for (const uint64_t key : keys) {
+    EXPECT_TRUE(filter.MayContain(key)) << "key " << key;
+  }
+}
+
+TEST(BloomFilterTest, DuplicateInsertStillCountsInserted) {
+  BloomFilter filter(16);
+  filter.Insert(5);
+  filter.Insert(5);
+  EXPECT_EQ(filter.inserted(), 2u);
+  EXPECT_TRUE(filter.MayContain(5));
+}
+
+TEST(BloomFilterTest, ClearForgetsEverything) {
+  BloomFilter filter(64);
+  for (uint64_t key = 0; key < 64; ++key) {
+    filter.Insert(SplitMix64(key));
+  }
+  filter.Clear();
+  EXPECT_EQ(filter.inserted(), 0u);
+  int positives = 0;
+  for (uint64_t key = 0; key < 64; ++key) {
+    positives += filter.MayContain(SplitMix64(key)) ? 1 : 0;
+  }
+  EXPECT_EQ(positives, 0) << "a cleared filter has no set bits at all";
+}
+
+TEST(BloomFilterTest, FalsePositiveRateStaysBounded) {
+  // Sized for 3% FPR at nominal load with k = 4 probes; assert a generous
+  // 6% on disjoint probe keys so the test is insensitive to hash luck.
+  constexpr int kItems = 5000;
+  constexpr int kProbes = 20000;
+  BloomFilter filter(kItems);
+  for (uint64_t i = 0; i < kItems; ++i) {
+    filter.Insert(SplitMix64(i));
+  }
+  int false_positives = 0;
+  for (uint64_t i = 0; i < kProbes; ++i) {
+    // Disjoint from the inserted universe by construction.
+    if (filter.MayContain(SplitMix64(1'000'000 + i))) {
+      ++false_positives;
+    }
+  }
+  const double rate = static_cast<double>(false_positives) / kProbes;
+  EXPECT_LT(rate, 0.06) << false_positives << " of " << kProbes;
+  // And it is a real filter, not a tautology: some bits are actually set.
+  EXPECT_EQ(filter.inserted(), static_cast<size_t>(kItems));
+}
+
+}  // namespace
+}  // namespace qdlp

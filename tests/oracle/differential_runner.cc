@@ -1,0 +1,98 @@
+#include "tests/oracle/differential_runner.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace qdlp {
+namespace oracle {
+
+namespace {
+
+DiffOutcome Fail(DiffOutcome outcome, uint64_t index, ObjectId id,
+                 const std::string& what) {
+  std::ostringstream oss;
+  oss << what << " at request " << index << " (id " << id << ")";
+  outcome.ok = false;
+  outcome.failure = oss.str();
+  return outcome;
+}
+
+}  // namespace
+
+DiffOutcome RunDifferential(DiffSubject& subject, ReferenceModel& model,
+                            const std::vector<ObjectId>& requests,
+                            const DiffOptions& options) {
+  const bool exact = options.divergence_slack == 0.0;
+  DiffOutcome outcome;
+  for (uint64_t i = 0; i < requests.size(); ++i) {
+    const ObjectId id = requests[i];
+
+    // Membership before the access predicts the access outcome: a cache
+    // hit means exactly "the object was resident". This holds for every
+    // policy in the zoo (ghost hits are misses) and needs no oracle.
+    const std::optional<bool> resident_before = subject.Contains(id);
+
+    const bool subject_hit = subject.Access(id);
+    const bool model_hit = model.Access(id);
+    ++outcome.requests;
+    outcome.subject_hits += subject_hit ? 1 : 0;
+    outcome.oracle_hits += model_hit ? 1 : 0;
+
+    if (resident_before.has_value() && *resident_before != subject_hit) {
+      return Fail(outcome, i, id,
+                  std::string("self-inconsistency: Contains() said ") +
+                      (*resident_before ? "resident" : "absent") +
+                      " but Access() reported " +
+                      (subject_hit ? "hit" : "miss"));
+    }
+
+    if (exact) {
+      if (subject_hit != model_hit) {
+        return Fail(outcome, i, id,
+                    std::string("decision mismatch: subject ") +
+                        (subject_hit ? "hit" : "miss") + ", oracle " +
+                        (model_hit ? "hit" : "miss"));
+      }
+    } else {
+      const double allowed =
+          options.divergence_slack * static_cast<double>(i + 1) +
+          static_cast<double>(options.divergence_grace);
+      const double diverged =
+          std::abs(static_cast<double>(outcome.subject_hits) -
+                   static_cast<double>(outcome.oracle_hits));
+      if (diverged > allowed) {
+        std::ostringstream oss;
+        oss << "cumulative hit divergence " << diverged << " exceeds budget "
+            << allowed << " (subject " << outcome.subject_hits << ", oracle "
+            << outcome.oracle_hits << ")";
+        return Fail(outcome, i, id, oss.str());
+      }
+    }
+
+    const std::optional<size_t> subject_size = subject.Size();
+    if (subject_size.has_value()) {
+      if (*subject_size > subject.capacity()) {
+        std::ostringstream oss;
+        oss << "occupancy " << *subject_size << " exceeds capacity "
+            << subject.capacity();
+        return Fail(outcome, i, id, oss.str());
+      }
+      if (exact && *subject_size != model.size()) {
+        std::ostringstream oss;
+        oss << "occupancy mismatch: subject " << *subject_size << ", oracle "
+            << model.size();
+        return Fail(outcome, i, id, oss.str());
+      }
+    }
+
+    if (options.invariant_stride != 0 && i % options.invariant_stride == 0) {
+      subject.CheckInvariants();
+    }
+  }
+  subject.CheckInvariants();
+  return outcome;
+}
+
+}  // namespace oracle
+}  // namespace qdlp

@@ -1,95 +1,24 @@
-// Differential testing: QdCache over 2-bit CLOCK (QD-LP-FIFO) vs an
-// independently-written naive reference model. Every request's hit/miss
-// outcome must match exactly across random workloads, capacities, and
-// seeds — the strongest guard against subtle queue/ghost bookkeeping bugs.
+// Differential testing: QdCache over 2-bit CLOCK (QD-LP-FIFO) vs the
+// independently-written naive reference model in tests/oracle/. Every
+// request's hit/miss outcome must match exactly across random workloads,
+// capacities, and seeds — the strongest guard against subtle queue/ghost
+// bookkeeping bugs. (The broader zoo-wide sweep lives in
+// oracle_differential_test.cc; this test keeps direct control over the
+// probation/main/ghost split and hammers it with adversarial id mixes.)
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <deque>
 #include <memory>
-#include <unordered_set>
-#include <vector>
+#include <string>
 
 #include "src/core/qd_cache.h"
 #include "src/policies/clock.h"
 #include "src/util/random.h"
 #include "src/util/zipf.h"
+#include "tests/oracle/reference_models.h"
 
 namespace qdlp {
 namespace {
-
-// Naive model of the Fig-4 flow: O(n) scans, no generation tricks.
-class ReferenceQdLpFifo {
- public:
-  ReferenceQdLpFifo(size_t probation_cap, size_t main_cap, size_t ghost_cap)
-      : probation_cap_(probation_cap),
-        main_cap_(main_cap),
-        ghost_cap_(ghost_cap) {}
-
-  bool Access(ObjectId id) {
-    // 1. probation hit: set the accessed bit.
-    for (auto& [entry_id, accessed] : probation_) {
-      if (entry_id == id) {
-        accessed = true;
-        return true;
-      }
-    }
-    // 2. main (2-bit CLOCK as reinsertion queue) hit: bump counter.
-    for (auto& [entry_id, counter] : main_) {
-      if (entry_id == id) {
-        counter = std::min(counter + 1, 3);
-        return true;
-      }
-    }
-    // 3. ghost hit: consume and admit straight into main.
-    const auto ghost_it = std::find(ghost_.begin(), ghost_.end(), id);
-    if (ghost_it != ghost_.end()) {
-      ghost_.erase(ghost_it);
-      InsertMain(id);
-      return false;
-    }
-    // 4. cold miss: probation.
-    while (probation_.size() >= probation_cap_) {
-      EvictProbation();
-    }
-    probation_.emplace_back(id, false);
-    return false;
-  }
-
- private:
-  void InsertMain(ObjectId id) {
-    while (main_.size() >= main_cap_) {
-      auto [victim, counter] = main_.front();
-      main_.pop_front();
-      if (counter > 0) {
-        main_.emplace_back(victim, counter - 1);
-      }
-      // else: evicted outright (main evictions are not ghosted)
-    }
-    main_.emplace_back(id, 0);
-  }
-
-  void EvictProbation() {
-    auto [victim, accessed] = probation_.front();
-    probation_.pop_front();
-    if (accessed) {
-      InsertMain(victim);
-    } else {
-      ghost_.push_back(victim);
-      if (ghost_.size() > ghost_cap_) {
-        ghost_.pop_front();
-      }
-    }
-  }
-
-  size_t probation_cap_;
-  size_t main_cap_;
-  size_t ghost_cap_;
-  std::deque<std::pair<ObjectId, bool>> probation_;
-  std::deque<std::pair<ObjectId, int>> main_;  // (id, counter); front = hand
-  std::deque<ObjectId> ghost_;                 // front = oldest
-};
 
 struct FuzzCase {
   uint64_t seed;
@@ -103,7 +32,8 @@ TEST_P(QdDifferentialTest, HitMissSequencesMatchReference) {
   const FuzzCase fuzz = GetParam();
   QdCache real(fuzz.probation,
                std::make_unique<ClockPolicy>(fuzz.main, 2));
-  ReferenceQdLpFifo reference(fuzz.probation, fuzz.main, fuzz.main);
+  // QdCache sizes its ghost as main * ghost_factor (default 1.0).
+  oracle::RefQdLpFifo reference(fuzz.probation, fuzz.main, fuzz.main);
 
   Rng rng(fuzz.seed);
   ZipfSampler zipf(500, 0.9);
@@ -120,6 +50,8 @@ TEST_P(QdDifferentialTest, HitMissSequencesMatchReference) {
     }
     ASSERT_EQ(real.Access(id), reference.Access(id))
         << "diverged at request " << i << " (id " << id << ")";
+    ASSERT_EQ(real.size(), reference.size())
+        << "occupancy diverged at request " << i << " (id " << id << ")";
   }
 }
 

@@ -45,6 +45,7 @@
 #include "src/trace/generators.h"
 #include "src/trace/trace.h"
 #include "src/trace/trace_io.h"
+#include "src/trace/workload_spec.h"
 #include "src/util/table.h"
 
 namespace qdlp {
@@ -76,74 +77,6 @@ uint64_t ParamInt(const ParamMap& params, const std::string& key,
   return it == params.end()
              ? fallback
              : static_cast<uint64_t>(std::strtoull(it->second.c_str(), nullptr, 10));
-}
-
-std::optional<Trace> BuildWorkload(const std::string& spec) {
-  const auto parts = SplitCommas(spec);
-  if (parts.empty()) {
-    return std::nullopt;
-  }
-  const std::string kind = parts[0];
-  ParamMap params;
-  for (size_t i = 1; i < parts.size(); ++i) {
-    const size_t eq = parts[i].find('=');
-    if (eq == std::string::npos) {
-      std::fprintf(stderr, "error: workload parameter '%s' is not key=value\n",
-                   parts[i].c_str());
-      return std::nullopt;
-    }
-    params[parts[i].substr(0, eq)] = parts[i].substr(eq + 1);
-  }
-  const uint64_t requests = ParamInt(params, "requests", 200000);
-  const uint64_t seed = ParamInt(params, "seed", 1);
-  Trace trace;
-  if (kind == "zipf") {
-    ZipfTraceConfig config;
-    config.num_requests = requests;
-    config.num_objects = ParamInt(params, "objects", 20000);
-    config.skew = ParamDouble(params, "skew", 1.0);
-    config.seed = seed;
-    trace = GenerateZipf(config);
-  } else if (kind == "web") {
-    PopularityDecayConfig config;
-    config.num_requests = requests;
-    config.one_hit_wonder_fraction = ParamDouble(params, "wonders", 0.15);
-    config.recency_skew = ParamDouble(params, "skew", 0.8);
-    config.initial_objects = ParamInt(params, "objects", 2000);
-    config.introduction_rate = ParamDouble(params, "intro", 0.10);
-    config.seed = seed;
-    trace = GeneratePopularityDecay(config);
-  } else if (kind == "block") {
-    ScanLoopConfig config;
-    config.num_requests = requests;
-    config.hot_objects = ParamInt(params, "objects", 8000);
-    config.hot_skew = ParamDouble(params, "skew", 1.0);
-    config.scan_start_probability = ParamDouble(params, "scan", 0.002);
-    config.loop_start_probability = ParamDouble(params, "loop", 0.001);
-    config.seed = seed;
-    trace = GenerateScanLoop(config);
-  } else if (kind == "kv") {
-    HighReuseKvConfig config;
-    config.num_requests = requests;
-    config.num_objects = ParamInt(params, "objects", 6000);
-    config.skew = ParamDouble(params, "skew", 1.2);
-    config.seed = seed;
-    trace = GenerateHighReuseKv(config);
-  } else if (kind == "phase") {
-    PhaseChangeConfig config;
-    config.num_requests = requests;
-    config.working_set = ParamInt(params, "objects", 2000);
-    config.skew = ParamDouble(params, "skew", 0.8);
-    config.phase_length = ParamInt(params, "phase", 10000);
-    config.seed = seed;
-    trace = GeneratePhaseChange(config);
-  } else {
-    std::fprintf(stderr, "error: unknown workload kind '%s'\n", kind.c_str());
-    return std::nullopt;
-  }
-  trace.name = spec;
-  trace.dataset = kind;
-  return trace;
 }
 
 std::optional<Trace> LoadTrace(const std::string& path) {
@@ -346,9 +279,14 @@ int Run(int argc, char** argv) {
     return Usage(argv[0]);
   }
 
-  std::optional<Trace> trace = trace_path.empty() ? BuildWorkload(workload_spec)
-                                                  : LoadTrace(trace_path);
+  std::string workload_error;
+  std::optional<Trace> trace =
+      trace_path.empty() ? BuildWorkload(workload_spec, &workload_error)
+                         : LoadTrace(trace_path);
   if (!trace.has_value() || trace->requests.empty()) {
+    if (!workload_error.empty()) {
+      std::fprintf(stderr, "error: %s\n", workload_error.c_str());
+    }
     std::fprintf(stderr, "error: could not obtain a non-empty trace\n");
     return 1;
   }
