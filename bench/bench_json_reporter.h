@@ -1,0 +1,56 @@
+// Google-benchmark reporter that mirrors the console output while capturing
+// every iteration run into BenchJsonResult records for BENCH_throughput.json
+// (see bench_json.h for the schema and output path).
+
+#ifndef QDLP_BENCH_BENCH_JSON_REPORTER_H_
+#define QDLP_BENCH_BENCH_JSON_REPORTER_H_
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_json.h"
+
+namespace qdlp {
+
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  using PolicyNamer = std::function<std::string(const std::string&)>;
+
+  // `policy_namer` maps a full benchmark name to the policy label recorded
+  // in the JSON; defaults to PolicyFromBenchmarkName.
+  explicit JsonCaptureReporter(PolicyNamer policy_namer = nullptr)
+      : policy_namer_(policy_namer ? std::move(policy_namer)
+                                   : PolicyFromBenchmarkName) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;  // keep aggregates/errors out of the JSON
+      }
+      BenchJsonResult result;
+      result.benchmark = run.benchmark_name();
+      result.policy = policy_namer_(result.benchmark);
+      result.threads = run.threads;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        result.ops_per_sec = static_cast<double>(it->second);
+      }
+      results_.push_back(std::move(result));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<BenchJsonResult>& results() { return results_; }
+
+ private:
+  PolicyNamer policy_namer_;
+  std::vector<BenchJsonResult> results_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_BENCH_BENCH_JSON_REPORTER_H_

@@ -4,13 +4,21 @@
 // counter, LRU hits splice a list node (six pointer writes), and the
 // adaptive SOTA policies do strictly more work than either. Run over a Zipf
 // workload sized so the cache holds ~20% of objects (mixed hits/misses).
+//
+// Besides the console table, results are written to BENCH_throughput.json
+// (path overridable via QDLP_BENCH_JSON) with a bytes/object column
+// measured by replaying the bench trace through each policy that ran; see
+// docs/PERFORMANCE.md.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
+#include "bench/bench_json_reporter.h"
 #include "src/core/policy_factory.h"
 #include "src/trace/generators.h"
 
@@ -62,12 +70,35 @@ void RegisterAll() {
   }
 }
 
+// Steady-state metadata footprint: replay the bench trace once and divide
+// the policy's reported metadata bytes by its object capacity. 0 for
+// policies that don't implement ApproxMetadataBytes().
+double MeasureBytesPerObject(const std::string& name) {
+  const Trace& trace = BenchTrace();
+  constexpr size_t kCapacity = 10000;
+  auto policy = MakePolicy(name, kCapacity, &trace.requests);
+  for (const ObjectId id : trace.requests) {
+    policy->Access(id);
+  }
+  return static_cast<double>(policy->ApproxMetadataBytes()) /
+         static_cast<double>(kCapacity);
+}
+
 }  // namespace
 }  // namespace qdlp
 
 int main(int argc, char** argv) {
   qdlp::RegisterAll();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  qdlp::JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  for (qdlp::BenchJsonResult& result : reporter.results()) {
+    result.bytes_per_object = qdlp::MeasureBytesPerObject(result.policy);
+  }
+  const std::string json_path = qdlp::BenchJsonOutputPath();
+  if (qdlp::WriteBenchJson(json_path, "micro_policies", reporter.results())) {
+    std::fprintf(stderr, "[qdlp] wrote %s (%zu results)\n", json_path.c_str(),
+                 reporter.results().size());
+  }
   return 0;
 }

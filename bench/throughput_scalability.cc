@@ -9,12 +9,19 @@
 // Expected shape: CLOCK >= sharded LRU >> global LRU as threads grow; with a
 // single hardware core the ordering still shows via lock overhead.
 
+// Results also land in BENCH_throughput.json (QDLP_BENCH_JSON overrides the
+// path) keyed by cache kind and thread count; bytes/object is reported as 0
+// here — the concurrent caches are not metadata-instrumented.
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 
+#include "bench/bench_json.h"
+#include "bench/bench_json_reporter.h"
 #include "src/concurrent/concurrent_clock.h"
 #include "src/concurrent/concurrent_s3fifo.h"
 #include "src/concurrent/locked_lru.h"
@@ -66,6 +73,23 @@ BENCHMARK(BM_ShardedLru)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 BENCHMARK(BM_ConcurrentClock)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 BENCHMARK(BM_ConcurrentS3Fifo)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 
+// Maps "BM_GlobalLockLru/threads:4/real_time" to a stable policy label.
+std::string CacheKindFromBenchmarkName(const std::string& name) {
+  if (name.find("BM_GlobalLockLru") == 0) {
+    return "global-lock-lru";
+  }
+  if (name.find("BM_ShardedLru") == 0) {
+    return "sharded-lru";
+  }
+  if (name.find("BM_ConcurrentClock") == 0) {
+    return "concurrent-clock";
+  }
+  if (name.find("BM_ConcurrentS3Fifo") == 0) {
+    return "concurrent-s3fifo";
+  }
+  return PolicyFromBenchmarkName(name);
+}
+
 }  // namespace
 }  // namespace qdlp
 
@@ -78,6 +102,13 @@ int main(int argc, char** argv) {
                  "on a multi-core machine to observe it.\n");
   }
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  qdlp::JsonCaptureReporter reporter(qdlp::CacheKindFromBenchmarkName);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const std::string json_path = qdlp::BenchJsonOutputPath();
+  if (qdlp::WriteBenchJson(json_path, "throughput_scalability",
+                           reporter.results())) {
+    std::fprintf(stderr, "[qdlp] wrote %s (%zu results)\n", json_path.c_str(),
+                 reporter.results().size());
+  }
   return 0;
 }

@@ -6,43 +6,40 @@ void GhostQueue::Insert(ObjectId id) {
   if (capacity_ == 0) {
     return;
   }
-  const uint64_t generation = next_generation_++;
-  fifo_.emplace_back(id, generation);
-  live_[id] = generation;
-  while (live_.size() > capacity_ && !fifo_.empty()) {
-    const auto [oldest_id, oldest_generation] = fifo_.front();
-    fifo_.pop_front();
-    const auto it = live_.find(oldest_id);
-    if (it != live_.end() && it->second == oldest_generation) {
-      live_.erase(it);
-    }
+  uint32_t* slot = live_.Find(id);
+  if (slot != nullptr) {
+    fifo_.MoveToBack(*slot);  // refresh: re-recorded ids age from now
+    return;
   }
-  // Opportunistically drop leading stale records so fifo_ cannot grow
-  // unboundedly ahead of live_.
-  while (!fifo_.empty()) {
-    const auto [front_id, front_generation] = fifo_.front();
-    const auto it = live_.find(front_id);
-    if (it != live_.end() && it->second == front_generation) {
-      break;
-    }
-    fifo_.pop_front();
+  while (live_.size() >= capacity_) {
+    const uint32_t oldest_slot = fifo_.front();
+    const ObjectId oldest = fifo_[oldest_slot];
+    fifo_.Erase(oldest_slot);
+    live_.Erase(oldest);
   }
+  live_[id] = fifo_.PushBack(id);
 }
 
-bool GhostQueue::Consume(ObjectId id) { return live_.erase(id) > 0; }
+bool GhostQueue::Consume(ObjectId id) {
+  const uint32_t* slot = live_.Find(id);
+  if (slot == nullptr) {
+    return false;
+  }
+  fifo_.Erase(*slot);
+  live_.Erase(id);
+  return true;
+}
 
 void GhostQueue::CheckInvariants() const {
   QDLP_CHECK(live_.size() <= capacity_);
-  // Stale-record trimming keeps the FIFO from outgrowing the live set by
-  // more than the records consumed since the last Insert.
-  size_t matching = 0;
-  for (const auto& [id, generation] : fifo_) {
-    const auto it = live_.find(id);
-    if (it != live_.end() && it->second == generation) {
-      ++matching;
-    }
-  }
-  QDLP_CHECK(matching == live_.size());
+  QDLP_CHECK(fifo_.size() == live_.size());
+  fifo_.ForEach([&](uint32_t slot, ObjectId id) {
+    const uint32_t* indexed = live_.Find(id);
+    QDLP_CHECK(indexed != nullptr);
+    QDLP_CHECK(*indexed == slot);
+  });
+  fifo_.CheckInvariants();
+  live_.CheckInvariants();
 }
 
 }  // namespace qdlp

@@ -5,18 +5,21 @@
 // so the QD wrapper admits it straight into the main cache. Entries cost a
 // few bytes each (no data), matching the paper's "ghost FIFO stores as many
 // entries as the main cache".
+//
+// Backed by a slab intrusive FIFO plus an open-addressing index; refreshing
+// an id is an O(1) splice to the queue tail and consuming one is an O(1)
+// unlink, so there are no stale records to skip while trimming.
 
 #ifndef QDLP_SRC_CORE_GHOST_QUEUE_H_
 #define QDLP_SRC_CORE_GHOST_QUEUE_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
-#include <utility>
 
 #include "src/trace/trace.h"
 #include "src/util/check.h"
+#include "src/util/flat_map.h"
+#include "src/util/intrusive_list.h"
 
 namespace qdlp {
 
@@ -24,7 +27,10 @@ class GhostQueue {
  public:
   // A capacity of 0 is a valid degenerate queue: it remembers nothing, every
   // Insert is dropped and every Consume misses (QD with no history).
-  explicit GhostQueue(size_t capacity) : capacity_(capacity) {}
+  explicit GhostQueue(size_t capacity) : capacity_(capacity) {
+    fifo_.Reserve(capacity);
+    live_.Reserve(capacity);
+  }
 
   // Records an eviction. Re-recording an id refreshes its position.
   void Insert(ObjectId id);
@@ -33,7 +39,7 @@ class GhostQueue {
   // consumed, per Fig 4's "unless it is in the ghost FIFO queue").
   bool Consume(ObjectId id);
 
-  bool Contains(ObjectId id) const { return live_.contains(id); }
+  bool Contains(ObjectId id) const { return live_.Contains(id); }
   size_t size() const { return live_.size(); }
   size_t capacity() const { return capacity_; }
 
@@ -41,24 +47,24 @@ class GhostQueue {
   // order. Used by invariant checks (ghost/resident disjointness).
   template <typename Fn>
   void ForEachLive(Fn&& fn) const {
-    for (const auto& [id, generation] : live_) {
-      (void)generation;
+    live_.ForEach([&](ObjectId id, uint32_t slot) {
+      (void)slot;
       fn(id);
-    }
+    });
   }
 
   // Validates internal bookkeeping: the live set never exceeds capacity and
-  // every live entry has a matching (id, generation) record in the FIFO.
+  // the FIFO and index hold exactly the same ids.
   void CheckInvariants() const;
+
+  size_t ApproxMetadataBytes() const {
+    return fifo_.MemoryBytes() + live_.MemoryBytes();
+  }
 
  private:
   size_t capacity_;
-  // FIFO of (id, generation). Entries whose generation no longer matches
-  // `live_` are stale (consumed or refreshed) and skipped while trimming;
-  // `live_` is the source of truth for membership.
-  std::deque<std::pair<ObjectId, uint64_t>> fifo_;
-  std::unordered_map<ObjectId, uint64_t> live_;
-  uint64_t next_generation_ = 0;
+  IntrusiveList<ObjectId> fifo_;  // front = oldest
+  FlatMap<uint32_t> live_;        // id -> fifo slot
 };
 
 }  // namespace qdlp

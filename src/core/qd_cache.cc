@@ -36,7 +36,8 @@ QdCache::QdCache(size_t probation_capacity,
           1, static_cast<size_t>(std::llround(
                  static_cast<double>(main_->capacity()) * options.ghost_factor)))) {
   QDLP_CHECK(probation_capacity_ >= 1);
-  probation_index_.reserve(probation_capacity_);
+  probation_fifo_.Reserve(probation_capacity_);
+  probation_index_.Reserve(probation_capacity_);
   main_forwarder_ = std::make_unique<MainEvictionForwarder>(
       [this](ObjectId id) { NotifyEvict(id); });
   main_->set_eviction_listener(main_forwarder_.get());
@@ -47,29 +48,34 @@ void QdCache::CheckInvariants() const {
   QDLP_CHECK(probation_fifo_.size() == probation_index_.size());
   QDLP_CHECK(main_->size() <= main_->capacity());
   QDLP_CHECK(size() <= capacity());
-  for (const ObjectId id : probation_fifo_) {
-    QDLP_CHECK(probation_index_.contains(id));
+  probation_fifo_.ForEach([&](uint32_t slot, ObjectId id) {
+    const ProbationEntry* entry = probation_index_.Find(id);
+    QDLP_CHECK(entry != nullptr);
+    QDLP_CHECK(entry->slot == slot);
     // An object holds space in exactly one region.
     QDLP_CHECK(!main_->Contains(id));
     QDLP_CHECK(!ghost_.Contains(id));
-  }
+  });
   // Ghost entries are history, never resident (in either region).
   ghost_.ForEachLive([&](ObjectId id) {
-    QDLP_CHECK(!probation_index_.contains(id));
+    QDLP_CHECK(!probation_index_.Contains(id));
     QDLP_CHECK(!main_->Contains(id));
   });
+  probation_fifo_.CheckInvariants();
+  probation_index_.CheckInvariants();
   ghost_.CheckInvariants();
   main_->CheckInvariants();
 }
 
 void QdCache::EvictFromProbation() {
   QDLP_DCHECK(!probation_fifo_.empty());
-  const ObjectId victim = probation_fifo_.front();
-  probation_fifo_.pop_front();
-  const auto it = probation_index_.find(victim);
-  QDLP_DCHECK(it != probation_index_.end());
-  const bool accessed = it->second;
-  probation_index_.erase(it);
+  const uint32_t victim_slot = probation_fifo_.front();
+  const ObjectId victim = probation_fifo_[victim_slot];
+  probation_fifo_.Erase(victim_slot);
+  const ProbationEntry* entry = probation_index_.Find(victim);
+  QDLP_DCHECK(entry != nullptr);
+  const bool accessed = entry->accessed;
+  probation_index_.Erase(victim);
   if (accessed) {
     // Lazy promotion: re-accessed while on probation -> main cache.
     ++promotions_;
@@ -86,15 +92,15 @@ void QdCache::AdmitToProbation(ObjectId id) {
   while (probation_index_.size() >= probation_capacity_) {
     EvictFromProbation();
   }
-  probation_fifo_.push_back(id);
-  probation_index_[id] = false;
+  const uint32_t slot = probation_fifo_.PushBack(id);
+  probation_index_[id] = ProbationEntry{slot, false};
   NotifyInsert(id);
 }
 
 bool QdCache::OnAccess(ObjectId id) {
-  const auto probation_it = probation_index_.find(id);
-  if (probation_it != probation_index_.end()) {
-    probation_it->second = true;  // single metadata bit; no reordering
+  ProbationEntry* probation_entry = probation_index_.Find(id);
+  if (probation_entry != nullptr) {
+    probation_entry->accessed = true;  // single metadata bit; no reordering
     return true;
   }
   if (main_->Contains(id)) {

@@ -19,13 +19,13 @@
 #ifndef QDLP_SRC_CORE_QD_CACHE_H_
 #define QDLP_SRC_CORE_QD_CACHE_H_
 
-#include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 
 #include "src/core/ghost_queue.h"
 #include "src/policies/eviction_policy.h"
+#include "src/util/flat_map.h"
+#include "src/util/intrusive_list.h"
 
 namespace qdlp {
 
@@ -48,7 +48,7 @@ class QdCache : public EvictionPolicy {
 
   size_t size() const override { return probation_index_.size() + main_->size(); }
   bool Contains(ObjectId id) const override {
-    return probation_index_.contains(id) || main_->Contains(id);
+    return probation_index_.Contains(id) || main_->Contains(id);
   }
 
   size_t probation_size() const { return probation_index_.size(); }
@@ -66,6 +66,11 @@ class QdCache : public EvictionPolicy {
   // policy's own CheckInvariants().
   void CheckInvariants() const override;
 
+  size_t ApproxMetadataBytes() const override {
+    return probation_fifo_.MemoryBytes() + probation_index_.MemoryBytes() +
+           ghost_.ApproxMetadataBytes() + main_->ApproxMetadataBytes();
+  }
+
  protected:
   bool OnAccess(ObjectId id) override;
 
@@ -81,8 +86,13 @@ class QdCache : public EvictionPolicy {
   // Forwards main-cache evictions into this wrapper's listener.
   std::unique_ptr<EvictionListener> main_forwarder_;
 
-  std::deque<ObjectId> probation_fifo_;  // front = oldest
-  std::unordered_map<ObjectId, bool> probation_index_;  // id -> accessed bit
+  struct ProbationEntry {
+    uint32_t slot = 0;      // slot in probation_fifo_
+    bool accessed = false;  // re-accessed while on probation
+  };
+
+  IntrusiveList<ObjectId> probation_fifo_;  // front = oldest
+  FlatMap<ProbationEntry> probation_index_;
 
   uint64_t promotions_ = 0;
   uint64_t quick_demotions_ = 0;

@@ -16,60 +16,62 @@ S3FifoPolicy::S3FifoPolicy(size_t capacity, double small_fraction,
                                               ghost_factor)))) {
   QDLP_CHECK(small_fraction > 0.0 && small_fraction < 1.0);
   small_capacity_ = std::min(small_capacity_, capacity);
-  index_.reserve(capacity);
+  index_.Reserve(capacity);
+  small_fifo_.Reserve(small_capacity_);
+  main_fifo_.Reserve(capacity);
 }
 
 void S3FifoPolicy::CheckInvariants() const {
   QDLP_CHECK(index_.size() <= capacity());
-  QDLP_CHECK(small_count_ + main_count_ == index_.size());
-  QDLP_CHECK(small_fifo_.size() == small_count_);
-  QDLP_CHECK(main_fifo_.size() == main_count_);
-  for (const ObjectId id : small_fifo_) {
-    const auto it = index_.find(id);
-    QDLP_CHECK(it != index_.end());
-    QDLP_CHECK(it->second.where == Where::kSmall);
-  }
-  for (const ObjectId id : main_fifo_) {
-    const auto it = index_.find(id);
-    QDLP_CHECK(it != index_.end());
-    QDLP_CHECK(it->second.where == Where::kMain);
-  }
+  QDLP_CHECK(small_fifo_.size() + main_fifo_.size() == index_.size());
+  small_fifo_.ForEach([&](uint32_t slot, ObjectId id) {
+    const Entry* entry = index_.Find(id);
+    QDLP_CHECK(entry != nullptr);
+    QDLP_CHECK(entry->where == Where::kSmall);
+    QDLP_CHECK(entry->slot == slot);
+  });
+  main_fifo_.ForEach([&](uint32_t slot, ObjectId id) {
+    const Entry* entry = index_.Find(id);
+    QDLP_CHECK(entry != nullptr);
+    QDLP_CHECK(entry->where == Where::kMain);
+    QDLP_CHECK(entry->slot == slot);
+  });
   // Ghost entries are ids that were evicted; none may still be resident.
   ghost_.ForEachLive(
-      [&](ObjectId id) { QDLP_CHECK(!index_.contains(id)); });
+      [&](ObjectId id) { QDLP_CHECK(!index_.Contains(id)); });
   ghost_.CheckInvariants();
+  small_fifo_.CheckInvariants();
+  main_fifo_.CheckInvariants();
+  index_.CheckInvariants();
 }
 
 void S3FifoPolicy::InsertSmall(ObjectId id) {
-  small_fifo_.push_back(id);
-  index_[id] = Entry{Where::kSmall, 0};
-  ++small_count_;
+  const uint32_t slot = small_fifo_.PushBack(id);
+  index_[id] = Entry{slot, Where::kSmall, 0};
   NotifyInsert(id);
 }
 
 void S3FifoPolicy::InsertMain(ObjectId id) {
-  main_fifo_.push_back(id);
-  index_[id] = Entry{Where::kMain, 0};
-  ++main_count_;
+  const uint32_t slot = main_fifo_.PushBack(id);
+  index_[id] = Entry{slot, Where::kMain, 0};
   NotifyInsert(id);
 }
 
 void S3FifoPolicy::EvictSmall() {
   QDLP_DCHECK(!small_fifo_.empty());
-  const ObjectId victim = small_fifo_.front();
-  small_fifo_.pop_front();
-  --small_count_;
-  auto it = index_.find(victim);
-  QDLP_DCHECK(it != index_.end() && it->second.where == Where::kSmall);
-  if (it->second.freq >= 1) {
+  const uint32_t victim_slot = small_fifo_.front();
+  const ObjectId victim = small_fifo_[victim_slot];
+  small_fifo_.Erase(victim_slot);
+  Entry* entry = index_.Find(victim);
+  QDLP_DCHECK(entry != nullptr && entry->where == Where::kSmall);
+  if (entry->freq >= 1) {
     // Re-accessed while on probation: promote into the main FIFO. This does
     // not free space; the caller keeps evicting until space appears.
-    it->second.where = Where::kMain;
-    it->second.freq = 0;
-    main_fifo_.push_back(victim);
-    ++main_count_;
+    entry->slot = main_fifo_.PushBack(victim);
+    entry->where = Where::kMain;
+    entry->freq = 0;
   } else {
-    index_.erase(it);
+    index_.Erase(victim);
     ghost_.Insert(victim);
     NotifyEvict(victim);
   }
@@ -78,18 +80,18 @@ void S3FifoPolicy::EvictSmall() {
 void S3FifoPolicy::EvictMain() {
   while (true) {
     QDLP_DCHECK(!main_fifo_.empty());
-    const ObjectId candidate = main_fifo_.front();
-    main_fifo_.pop_front();
-    auto it = index_.find(candidate);
-    QDLP_DCHECK(it != index_.end() && it->second.where == Where::kMain);
-    if (it->second.freq > 0) {
+    const uint32_t candidate_slot = main_fifo_.front();
+    const ObjectId candidate = main_fifo_[candidate_slot];
+    Entry* entry = index_.Find(candidate);
+    QDLP_DCHECK(entry != nullptr && entry->where == Where::kMain);
+    if (entry->freq > 0) {
       // Lazy promotion: demonstrated reuse buys another lap at freq - 1.
-      --it->second.freq;
-      main_fifo_.push_back(candidate);
+      --entry->freq;
+      main_fifo_.MoveToBack(candidate_slot);
       continue;
     }
-    --main_count_;
-    index_.erase(it);
+    main_fifo_.Erase(candidate_slot);
+    index_.Erase(candidate);
     NotifyEvict(candidate);
     return;
   }
@@ -97,7 +99,8 @@ void S3FifoPolicy::EvictMain() {
 
 void S3FifoPolicy::MakeRoom() {
   while (index_.size() >= capacity()) {
-    if (small_count_ > 0 && (small_count_ >= small_capacity_ || main_count_ == 0)) {
+    if (!small_fifo_.empty() &&
+        (small_fifo_.size() >= small_capacity_ || main_fifo_.empty())) {
       EvictSmall();
     } else {
       EvictMain();
@@ -106,9 +109,9 @@ void S3FifoPolicy::MakeRoom() {
 }
 
 bool S3FifoPolicy::OnAccess(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it != index_.end()) {
-    it->second.freq = std::min<uint8_t>(it->second.freq + 1, kMaxFreq);
+  Entry* entry = index_.Find(id);
+  if (entry != nullptr) {
+    entry->freq = std::min<uint8_t>(entry->freq + 1, kMaxFreq);
     return true;
   }
   MakeRoom();

@@ -11,16 +11,20 @@
 // mechanical: the main queue is a FIFO with reinsert-on-nonzero-counter
 // rather than a CLOCK ring, and small-queue evictees need freq >= 1 to be
 // promoted. Included as the paper's "future work made concrete" extension.
+//
+// Both resident FIFOs are slab-backed intrusive queues sharing one
+// open-addressing index; a main-queue reinsertion is an O(1) splice within
+// the slab rather than a pop + push of heap nodes.
 
 #ifndef QDLP_SRC_CORE_S3FIFO_H_
 #define QDLP_SRC_CORE_S3FIFO_H_
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 
 #include "src/core/ghost_queue.h"
 #include "src/policies/eviction_policy.h"
+#include "src/util/flat_map.h"
+#include "src/util/intrusive_list.h"
 
 namespace qdlp {
 
@@ -30,14 +34,19 @@ class S3FifoPolicy : public EvictionPolicy {
                         double ghost_factor = 0.9);
 
   size_t size() const override { return index_.size(); }
-  bool Contains(ObjectId id) const override { return index_.contains(id); }
+  bool Contains(ObjectId id) const override { return index_.Contains(id); }
 
-  size_t small_size() const { return small_count_; }
-  size_t main_size() const { return main_count_; }
+  size_t small_size() const { return small_fifo_.size(); }
+  size_t main_size() const { return main_fifo_.size(); }
 
   // Queue-size accounting (small + main partition the resident set) and
   // ghost/resident disjointness.
   void CheckInvariants() const override;
+
+  size_t ApproxMetadataBytes() const override {
+    return small_fifo_.MemoryBytes() + main_fifo_.MemoryBytes() +
+           index_.MemoryBytes() + ghost_.ApproxMetadataBytes();
+  }
 
  protected:
   bool OnAccess(ObjectId id) override;
@@ -45,8 +54,9 @@ class S3FifoPolicy : public EvictionPolicy {
  private:
   static constexpr uint8_t kMaxFreq = 3;
 
-  enum class Where { kSmall, kMain };
+  enum class Where : uint8_t { kSmall, kMain };
   struct Entry {
+    uint32_t slot = 0;  // slot in the FIFO matching `where`
     Where where = Where::kSmall;
     uint8_t freq = 0;
   };
@@ -62,12 +72,10 @@ class S3FifoPolicy : public EvictionPolicy {
   size_t small_capacity_;
   // Each resident id appears exactly once, in the FIFO matching its
   // Entry::where (CheckInvariants enforces this).
-  std::deque<ObjectId> small_fifo_;  // front = oldest
-  std::deque<ObjectId> main_fifo_;
-  size_t small_count_ = 0;
-  size_t main_count_ = 0;
+  IntrusiveList<ObjectId> small_fifo_;  // front = oldest
+  IntrusiveList<ObjectId> main_fifo_;
   GhostQueue ghost_;
-  std::unordered_map<ObjectId, Entry> index_;
+  FlatMap<Entry> index_;
 };
 
 }  // namespace qdlp

@@ -5,14 +5,17 @@
 // them, and new objects are inserted at the head, behind the hand — which
 // makes the survivors act as a sieve filtering new arrivals. Lazy promotion
 // and quick demotion in one mechanism.
+//
+// Storage is a slab-backed intrusive queue plus an open-addressing index;
+// the hand is a stable slot id into the slab, so a hit costs one flat-table
+// probe plus one bit write and eviction walks contiguous memory.
 
 #ifndef QDLP_SRC_CORE_SIEVE_H_
 #define QDLP_SRC_CORE_SIEVE_H_
 
-#include <list>
-#include <unordered_map>
-
 #include "src/policies/eviction_policy.h"
+#include "src/util/flat_map.h"
+#include "src/util/intrusive_list.h"
 
 namespace qdlp {
 
@@ -21,10 +24,14 @@ class SievePolicy : public EvictionPolicy {
   explicit SievePolicy(size_t capacity);
 
   size_t size() const override { return index_.size(); }
-  bool Contains(ObjectId id) const override { return index_.contains(id); }
+  bool Contains(ObjectId id) const override { return index_.Contains(id); }
 
   // Queue/index consistency and the hand pointing inside the queue.
   void CheckInvariants() const override;
+
+  size_t ApproxMetadataBytes() const override {
+    return queue_.MemoryBytes() + index_.MemoryBytes();
+  }
 
  protected:
   bool OnAccess(ObjectId id) override;
@@ -37,9 +44,9 @@ class SievePolicy : public EvictionPolicy {
 
   void EvictOne();
 
-  std::list<Node> queue_;  // front = head (newest), back = tail (oldest)
-  std::list<Node>::iterator hand_ = queue_.end();
-  std::unordered_map<ObjectId, std::list<Node>::iterator> index_;
+  IntrusiveList<Node> queue_;  // front = head (newest), back = tail (oldest)
+  uint32_t hand_ = IntrusiveList<Node>::kNullSlot;
+  FlatMap<uint32_t> index_;  // id -> queue slot
 };
 
 }  // namespace qdlp

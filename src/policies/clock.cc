@@ -16,9 +16,10 @@ std::string ClockName(int bits) {
 ClockPolicy::ClockPolicy(size_t capacity, int bits)
     : EvictionPolicy(capacity, ClockName(bits)), bits_(bits) {
   QDLP_CHECK(bits >= 1 && bits <= 8);
+  QDLP_CHECK(capacity <= 0xFFFFFFFFu);  // ring slots are indexed by uint32
   max_counter_ = static_cast<uint8_t>((1u << bits) - 1);
   ring_.reserve(capacity);
-  index_.reserve(capacity);
+  index_.Reserve(capacity);
 }
 
 void ClockPolicy::CheckInvariants() const {
@@ -31,21 +32,22 @@ void ClockPolicy::CheckInvariants() const {
     }
     ++occupied;
     QDLP_CHECK(ring_[slot].counter <= max_counter_);
-    const auto it = index_.find(ring_[slot].id);
-    QDLP_CHECK(it != index_.end());
-    QDLP_CHECK(it->second == slot);
+    const uint32_t* indexed = index_.Find(ring_[slot].id);
+    QDLP_CHECK(indexed != nullptr);
+    QDLP_CHECK(*indexed == slot);
   }
   QDLP_CHECK(occupied == index_.size());
   for (const size_t slot : free_slots_) {
     QDLP_CHECK(slot < ring_.size());
     QDLP_CHECK(!ring_[slot].occupied);
   }
+  index_.CheckInvariants();
 }
 
 bool ClockPolicy::OnAccess(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it != index_.end()) {
-    Slot& slot = ring_[it->second];
+  const uint32_t* indexed = index_.Find(id);
+  if (indexed != nullptr) {
+    Slot& slot = ring_[*indexed];
     if (slot.counter < max_counter_) {
       ++slot.counter;
     }
@@ -56,20 +58,20 @@ bool ClockPolicy::OnAccess(ObjectId id) {
     const size_t slot_index = free_slots_.back();
     free_slots_.pop_back();
     ring_[slot_index] = Slot{id, 0, true};
-    index_[id] = slot_index;
+    index_[id] = static_cast<uint32_t>(slot_index);
     NotifyInsert(id);
     return false;
   }
   if (ring_.size() < capacity()) {
     // Still filling: append in FIFO order.
-    index_[id] = ring_.size();
+    index_[id] = static_cast<uint32_t>(ring_.size());
     ring_.push_back(Slot{id, 0, true});
     NotifyInsert(id);
     return false;
   }
   const size_t slot_index = EvictOne();
   ring_[slot_index] = Slot{id, 0, true};
-  index_[id] = slot_index;
+  index_[id] = static_cast<uint32_t>(slot_index);
   NotifyInsert(id);
   // Advance past the slot we just filled so the new object gets a full lap
   // before it is considered for eviction, matching FIFO insertion order.
@@ -85,7 +87,7 @@ size_t ClockPolicy::EvictOne() {
       continue;
     }
     if (slot.counter == 0) {
-      index_.erase(slot.id);
+      index_.Erase(slot.id);
       slot.occupied = false;
       NotifyEvict(slot.id);
       return hand_;
@@ -96,14 +98,14 @@ size_t ClockPolicy::EvictOne() {
 }
 
 bool ClockPolicy::Remove(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) {
+  const uint32_t* indexed = index_.Find(id);
+  if (indexed == nullptr) {
     return false;
   }
-  const size_t slot_index = it->second;
+  const size_t slot_index = *indexed;
   ring_[slot_index].occupied = false;
   free_slots_.push_back(slot_index);
-  index_.erase(it);
+  index_.Erase(id);
   NotifyEvict(id);
   return true;
 }

@@ -11,10 +11,10 @@
 #define QDLP_SRC_POLICIES_CLOCK_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "src/policies/eviction_policy.h"
+#include "src/util/flat_map.h"
 
 namespace qdlp {
 
@@ -24,7 +24,7 @@ class ClockPolicy : public EvictionPolicy {
   ClockPolicy(size_t capacity, int bits = 1);
 
   size_t size() const override { return index_.size(); }
-  bool Contains(ObjectId id) const override { return index_.contains(id); }
+  bool Contains(ObjectId id) const override { return index_.Contains(id); }
 
   // Removal (for TTL): the slot is freed and reused by the next admission.
   // Reusing a freed slot places the newcomer at the removed object's ring
@@ -37,6 +37,11 @@ class ClockPolicy : public EvictionPolicy {
   // Ring/index consistency: occupied slots are exactly the indexed ids,
   // freed slots are tracked, counters respect the bit width.
   void CheckInvariants() const override;
+
+  size_t ApproxMetadataBytes() const override {
+    return ring_.capacity() * sizeof(Slot) + index_.MemoryBytes() +
+           free_slots_.capacity() * sizeof(size_t);
+  }
 
  protected:
   bool OnAccess(ObjectId id) override;
@@ -56,7 +61,7 @@ class ClockPolicy : public EvictionPolicy {
   uint8_t max_counter_;
   std::vector<Slot> ring_;
   size_t hand_ = 0;
-  std::unordered_map<ObjectId, size_t> index_;  // id -> ring slot
+  FlatMap<uint32_t> index_;  // id -> ring slot
   std::vector<size_t> free_slots_;  // slots vacated by Remove()
 };
 

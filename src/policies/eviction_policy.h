@@ -73,6 +73,12 @@ class EvictionPolicy {
   // True when `id` currently holds cache space (ghost entries don't count).
   virtual bool Contains(ObjectId id) const = 0;
 
+  // Approximate bytes of eviction metadata currently held (slabs, index
+  // tables, ghost entries — not cached data). Purely observational: the
+  // throughput benches divide it by capacity for the bytes/object column in
+  // BENCH_throughput.json (see docs/PERFORMANCE.md). 0 = not instrumented.
+  virtual size_t ApproxMetadataBytes() const { return 0; }
+
   // User-controlled removal (§2, Fig 1: removal is one of the four cache
   // operations — invoked directly or via TTL). Returns true if the object
   // was resident and has been removed. Policies that don't implement

@@ -3,44 +3,55 @@
 namespace qdlp {
 
 FifoPolicy::FifoPolicy(size_t capacity) : EvictionPolicy(capacity, "fifo") {
-  live_.reserve(capacity);
+  queue_.Reserve(capacity);
+  // +1: a miss emplaces the newcomer before evicting the victim, so the
+  // index transiently holds capacity + 1 entries.
+  index_.Reserve(capacity + 1);
+}
+
+void FifoPolicy::CheckInvariants() const {
+  QDLP_CHECK(index_.size() <= capacity());
+  QDLP_CHECK(queue_.size() == index_.size());
+  queue_.ForEach([&](uint32_t slot, ObjectId id) {
+    const uint32_t* indexed = index_.Find(id);
+    QDLP_CHECK(indexed != nullptr);
+    QDLP_CHECK(*indexed == slot);
+  });
+  queue_.CheckInvariants();
+  index_.CheckInvariants();
 }
 
 void FifoPolicy::EvictOldest() {
-  while (!queue_.empty()) {
-    const auto [id, generation] = queue_.front();
-    queue_.pop_front();
-    const auto it = live_.find(id);
-    if (it == live_.end() || it->second != generation) {
-      continue;  // stale record (removed earlier)
-    }
-    live_.erase(it);
-    NotifyEvict(id);
-    return;
-  }
-  QDLP_CHECK(false);  // eviction requested from an empty cache
+  QDLP_CHECK(!queue_.empty());
+  const uint32_t slot = queue_.front();
+  const ObjectId victim = queue_[slot];
+  queue_.Erase(slot);
+  index_.Erase(victim);
+  NotifyEvict(victim);
 }
 
 bool FifoPolicy::OnAccess(ObjectId id) {
-  if (live_.contains(id)) {
+  const auto [slot, inserted] = index_.Emplace(id);
+  if (!inserted) {
     return true;
   }
-  if (live_.size() == capacity()) {
+  // Evict after the emplace (one probe covers lookup + insert); Erase never
+  // relocates live index slots, so `slot` stays valid across it.
+  if (index_.size() > capacity()) {
     EvictOldest();
   }
-  const uint64_t generation = next_generation_++;
-  queue_.emplace_back(id, generation);
-  live_[id] = generation;
+  *slot = queue_.PushBack(id);
   NotifyInsert(id);
   return false;
 }
 
 bool FifoPolicy::Remove(ObjectId id) {
-  const auto it = live_.find(id);
-  if (it == live_.end()) {
+  const uint32_t* slot = index_.Find(id);
+  if (slot == nullptr) {
     return false;
   }
-  live_.erase(it);  // the queue record goes stale
+  queue_.Erase(*slot);
+  index_.Erase(id);
   NotifyEvict(id);
   return true;
 }

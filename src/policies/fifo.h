@@ -4,19 +4,16 @@
 // gives FIFO its throughput/scalability/flash-friendliness advantages (§2);
 // the miss-ratio gap to LRU is what LP and QD close.
 //
-// Supports user removal (for TTL): removed ids leave the index immediately;
-// their queue records go stale and are skipped during eviction
-// (generation-tagged, so a re-admitted id is not hurt by its old record).
+// Storage is a slab-backed intrusive queue plus an open-addressing index
+// (no per-object allocation). User removal (for TTL) unlinks the queue
+// record in O(1), so eviction never sees stale entries.
 
 #ifndef QDLP_SRC_POLICIES_FIFO_H_
 #define QDLP_SRC_POLICIES_FIFO_H_
 
-#include <cstdint>
-#include <deque>
-#include <unordered_map>
-#include <utility>
-
 #include "src/policies/eviction_policy.h"
+#include "src/util/flat_map.h"
+#include "src/util/intrusive_list.h"
 
 namespace qdlp {
 
@@ -24,11 +21,19 @@ class FifoPolicy : public EvictionPolicy {
  public:
   explicit FifoPolicy(size_t capacity);
 
-  size_t size() const override { return live_.size(); }
-  bool Contains(ObjectId id) const override { return live_.contains(id); }
+  size_t size() const override { return index_.size(); }
+  bool Contains(ObjectId id) const override { return index_.Contains(id); }
 
   bool Remove(ObjectId id) override;
   bool SupportsRemoval() const override { return true; }
+
+  // Queue/index consistency: the queue and index hold exactly the same ids.
+  void CheckInvariants() const override;
+
+  // Slab + table bytes currently held (bench bytes/object accounting).
+  size_t ApproxMetadataBytes() const override {
+    return queue_.MemoryBytes() + index_.MemoryBytes();
+  }
 
  protected:
   bool OnAccess(ObjectId id) override;
@@ -36,11 +41,8 @@ class FifoPolicy : public EvictionPolicy {
  private:
   void EvictOldest();
 
-  // front = oldest. Records whose generation no longer matches live_ are
-  // stale (removed or superseded) and skipped.
-  std::deque<std::pair<ObjectId, uint64_t>> queue_;
-  std::unordered_map<ObjectId, uint64_t> live_;  // id -> generation
-  uint64_t next_generation_ = 0;
+  IntrusiveList<ObjectId> queue_;  // front = oldest
+  FlatMap<uint32_t> index_;        // id -> queue slot
 };
 
 }  // namespace qdlp

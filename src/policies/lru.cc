@@ -3,34 +3,51 @@
 namespace qdlp {
 
 LruPolicy::LruPolicy(size_t capacity) : EvictionPolicy(capacity, "lru") {
-  index_.reserve(capacity);
+  mru_list_.Reserve(capacity);
+  // +1: a miss emplaces the newcomer before evicting the victim, so the
+  // index transiently holds capacity + 1 entries.
+  index_.Reserve(capacity + 1);
+}
+
+void LruPolicy::CheckInvariants() const {
+  QDLP_CHECK(index_.size() <= capacity());
+  QDLP_CHECK(mru_list_.size() == index_.size());
+  mru_list_.ForEach([&](uint32_t slot, ObjectId id) {
+    const uint32_t* indexed = index_.Find(id);
+    QDLP_CHECK(indexed != nullptr);
+    QDLP_CHECK(*indexed == slot);
+  });
+  mru_list_.CheckInvariants();
+  index_.CheckInvariants();
 }
 
 bool LruPolicy::Remove(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) {
+  const uint32_t* slot = index_.Find(id);
+  if (slot == nullptr) {
     return false;
   }
-  mru_list_.erase(it->second);
-  index_.erase(it);
+  mru_list_.Erase(*slot);
+  index_.Erase(id);
   NotifyEvict(id);
   return true;
 }
 
 bool LruPolicy::OnAccess(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it != index_.end()) {
-    mru_list_.splice(mru_list_.begin(), mru_list_, it->second);
+  const auto [slot, inserted] = index_.Emplace(id);
+  if (!inserted) {
+    mru_list_.MoveToFront(*slot);
     return true;
   }
-  if (index_.size() == capacity()) {
-    const ObjectId victim = mru_list_.back();
-    mru_list_.pop_back();
-    index_.erase(victim);
+  // Evict after the emplace (one probe covers lookup + insert); Erase never
+  // relocates live index slots, so `slot` stays valid across it.
+  if (index_.size() > capacity()) {
+    const uint32_t victim_slot = mru_list_.back();
+    const ObjectId victim = mru_list_[victim_slot];
+    mru_list_.Erase(victim_slot);
+    index_.Erase(victim);
     NotifyEvict(victim);
   }
-  mru_list_.push_front(id);
-  index_[id] = mru_list_.begin();
+  *slot = mru_list_.PushFront(id);
   NotifyInsert(id);
   return false;
 }

@@ -1,14 +1,17 @@
 // LRU eviction: promote to head on every hit (eager promotion), evict the
 // tail. The incumbent the paper argues against; also the building block of
 // ARC/SLRU/2Q segments.
+//
+// Storage is a slab-backed intrusive recency list plus an open-addressing
+// index, so a hit splices within one contiguous slab (no per-node heap
+// traffic) and a lookup probes one flat table.
 
 #ifndef QDLP_SRC_POLICIES_LRU_H_
 #define QDLP_SRC_POLICIES_LRU_H_
 
-#include <list>
-#include <unordered_map>
-
 #include "src/policies/eviction_policy.h"
+#include "src/util/flat_map.h"
+#include "src/util/intrusive_list.h"
 
 namespace qdlp {
 
@@ -17,17 +20,24 @@ class LruPolicy : public EvictionPolicy {
   explicit LruPolicy(size_t capacity);
 
   size_t size() const override { return index_.size(); }
-  bool Contains(ObjectId id) const override { return index_.contains(id); }
+  bool Contains(ObjectId id) const override { return index_.Contains(id); }
 
   bool Remove(ObjectId id) override;
   bool SupportsRemoval() const override { return true; }
+
+  // Recency-list/index consistency.
+  void CheckInvariants() const override;
+
+  size_t ApproxMetadataBytes() const override {
+    return mru_list_.MemoryBytes() + index_.MemoryBytes();
+  }
 
  protected:
   bool OnAccess(ObjectId id) override;
 
  private:
-  std::list<ObjectId> mru_list_;  // front = most recent
-  std::unordered_map<ObjectId, std::list<ObjectId>::iterator> index_;
+  IntrusiveList<ObjectId> mru_list_;  // front = most recent
+  FlatMap<uint32_t> index_;           // id -> list slot
 };
 
 }  // namespace qdlp

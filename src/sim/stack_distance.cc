@@ -90,10 +90,16 @@ double StackDistanceProfiler::MissRatioAt(uint64_t cache_size) const {
 
 ShardsProfiler::ShardsProfiler(double sample_rate) : sample_rate_(sample_rate) {
   QDLP_CHECK(sample_rate > 0.0 && sample_rate <= 1.0);
-  threshold_ = static_cast<uint64_t>(
-      sample_rate * static_cast<double>(~0ULL));
-  if (sample_rate >= 1.0) {
+  // Branch before the cast: (double)~0ULL rounds up to exactly 2^64, so at
+  // sample_rate 1.0 the product is 2^64 — one past uint64_t's range — and a
+  // float -> uint64_t cast of an out-of-range value is UB. (Scaling by 2^64
+  // only shifts the exponent, so the product is exact and rates below 1.0
+  // always stay in range; 1.0 is the single overflowing input.)
+  const double scaled = sample_rate * static_cast<double>(~0ULL);
+  if (scaled >= static_cast<double>(~0ULL)) {
     threshold_ = ~0ULL;
+  } else {
+    threshold_ = static_cast<uint64_t>(scaled);
   }
 }
 

@@ -87,10 +87,14 @@ double WinFraction(const std::vector<SweepPoint>& points,
       continue;
     }
     ++total;
-    if (challenger_value < it->second) {
-      wins += 1.0;
-    } else if (challenger_value == it->second) {
+    // Miss ratios land in [0, 1]; policies that agree can still differ in
+    // the last few ulps when their hit counts were accumulated through
+    // different float paths, so ties are epsilon-based rather than exact.
+    constexpr double kTieEpsilon = 1e-9;
+    if (std::abs(challenger_value - it->second) <= kTieEpsilon) {
       wins += 0.5;
+    } else if (challenger_value < it->second) {
+      wins += 1.0;
     }
   }
   return total == 0 ? 0.0 : wins / static_cast<double>(total);

@@ -179,7 +179,11 @@ std::optional<Trace> ParseTraceOracleGeneral(std::istream& in) {
     if (!in) {
       return std::nullopt;
     }
-    trace.requests.push_back(record.object_id);
+    // Copy before push_back: the packed record's object_id sits at offset 4,
+    // and binding vector::push_back's const uint64_t& directly to it is a
+    // misaligned reference (flagged by UBSan's alignment check).
+    const ObjectId id = record.object_id;
+    trace.requests.push_back(id);
   }
   trace.num_objects = CountUniqueObjects(trace.requests);
   return trace;

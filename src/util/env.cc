@@ -30,4 +30,12 @@ int64_t GetEnvInt(const std::string& name, int64_t fallback) {
   return static_cast<int64_t>(value);
 }
 
+std::string GetEnvString(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || raw[0] == '\0') {
+    return fallback;
+  }
+  return raw;
+}
+
 }  // namespace qdlp

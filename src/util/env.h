@@ -18,6 +18,9 @@ double GetEnvDouble(const std::string& name, double fallback);
 // Returns the value of `name` parsed as int64, or `fallback`.
 int64_t GetEnvInt(const std::string& name, int64_t fallback);
 
+// Returns the raw value of `name`, or `fallback` when unset or empty.
+std::string GetEnvString(const std::string& name, const std::string& fallback);
+
 }  // namespace qdlp
 
 #endif  // QDLP_SRC_UTIL_ENV_H_

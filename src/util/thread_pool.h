@@ -1,5 +1,10 @@
 // Fixed-size worker pool used by the sweep runner to replay many traces in
 // parallel. Tasks are void() closures; Wait() blocks until the queue drains.
+//
+// Exception-safe: a task that throws neither terminates the worker nor
+// wedges Wait(). The first exception is captured and rethrown from the next
+// Wait() call (after the queue drains); later exceptions from the same batch
+// are dropped. The pool stays usable after the rethrow.
 
 #ifndef QDLP_SRC_UTIL_THREAD_POOL_H_
 #define QDLP_SRC_UTIL_THREAD_POOL_H_
@@ -7,6 +12,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -24,7 +30,9 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   void Submit(std::function<void()> task);
-  // Blocks until every submitted task has finished executing.
+  // Blocks until every submitted task has finished executing. If any task
+  // threw since the last Wait(), rethrows the first captured exception
+  // (clearing it, so the pool remains usable).
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
@@ -38,6 +46,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_error_;  // first task exception since last Wait()
   std::vector<std::thread> workers_;
 };
 

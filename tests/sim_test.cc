@@ -134,6 +134,35 @@ TEST(SweepTest, WinFractionBasics) {
   EXPECT_DOUBLE_EQ(WinFraction(points, "b", "a", 0.1), 1.5 / 3.0);
 }
 
+// Regression: ties used to require bit-exact equality, but two policies
+// that behave identically can accumulate their miss ratios through
+// different float paths and differ in the last ulp — the tie then silently
+// became a win for one side. Ties are now epsilon-based (1e-9).
+TEST(SweepTest, WinFractionTiesAreEpsilonBased) {
+  std::vector<SweepPoint> points;
+  const auto add = [&](const std::string& trace, const std::string& policy,
+                       double mr) {
+    SweepPoint point;
+    point.trace = trace;
+    point.dataset = "d";
+    point.policy = policy;
+    point.size_fraction = 0.1;
+    point.miss_ratio = mr;
+    points.push_back(point);
+  };
+  // Differ by one ulp-ish amount, far below the 1e-9 tie epsilon.
+  const double base = 0.3;
+  add("t1", "a", base);
+  add("t1", "b", base + 1e-12);
+  EXPECT_DOUBLE_EQ(WinFraction(points, "a", "b", 0.1), 0.5);
+  EXPECT_DOUBLE_EQ(WinFraction(points, "b", "a", 0.1), 0.5);
+  // A real difference (above epsilon) is still a win, not a tie.
+  add("t2", "a", 0.2);
+  add("t2", "b", 0.2001);
+  EXPECT_DOUBLE_EQ(WinFraction(points, "a", "b", 0.1), 1.5 / 2.0);
+  EXPECT_DOUBLE_EQ(WinFraction(points, "b", "a", 0.1), 0.5 / 2.0);
+}
+
 TEST(SweepTest, ReductionsVsBaseline) {
   std::vector<SweepPoint> points;
   SweepPoint p;

@@ -92,6 +92,42 @@ TEST(ShardsTest, FullRateMatchesExact) {
   }
 }
 
+// Regression: the threshold used to be computed as
+// static_cast<uint64_t>(sample_rate * (double)~0ULL) for every rate,
+// with the rate >= 1.0 fixup applied only afterwards. (double)~0ULL
+// rounds UP to 2^64, so at sample_rate 1.0 the product is exactly 2^64 —
+// outside uint64_t's range, making the cast undefined behavior even
+// though its result was then discarded (UBSan float-cast-overflow:
+// "1.84467e+19 is outside the range of representable values"). The fix
+// branches on rate >= 1.0 before any float->int cast. The ubsan presets
+// enable float-cast-overflow (GCC's "undefined" group omits it) with
+// recovery disabled, so pre-fix this test aborts under them.
+TEST(ShardsTest, FullRateThresholdDoesNotOverflow) {
+  ShardsProfiler shards(1.0);
+  EXPECT_EQ(shards.sample_rate(), 1.0);
+  // Rate 1.0 must sample EVERY id, including ones whose hash lands on the
+  // extreme high end of the 64-bit space.
+  for (ObjectId id = 0; id < 5000; ++id) {
+    shards.Record(id);
+  }
+  EXPECT_EQ(shards.sampled_requests(), shards.requests());
+  EXPECT_EQ(shards.requests(), 5000u);
+}
+
+TEST(ShardsTest, NearOneRateStaysInRange) {
+  // Boundary companion to the rate-1.0 case: for any rate < 1.0 the
+  // product is at most (1 - 2^-53) * 2^64 = 2^64 - 2048, which is exactly
+  // representable (ulp there is 2048), so the cast stays in range — 1.0 is
+  // the only UB input. This pins that the fix's clamp branch does not
+  // swallow near-one rates: 1 - 1e-12 must still sample ~everything.
+  ShardsProfiler shards(0.999999999999);
+  for (ObjectId id = 0; id < 5000; ++id) {
+    shards.Record(id);
+  }
+  // Effectively everything is sampled at this rate.
+  EXPECT_EQ(shards.sampled_requests(), shards.requests());
+}
+
 TEST(ShardsTest, SampledEstimateCloseToExact) {
   ZipfTraceConfig config;
   config.num_requests = 200000;

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "src/util/random.h"
@@ -264,6 +266,51 @@ TEST(ThreadPoolTest, WaitIsReusable) {
 TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
   ThreadPool pool(2);
   pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+// Regression: a throwing task used to escape WorkerLoop — std::terminate on
+// the spot, or a forever-wedged Wait() because in_flight_ was never
+// decremented. Wait() must instead drain the queue and rethrow the first
+// captured exception.
+TEST(ThreadPoolTest, ThrowingTaskIsRethrownFromWait) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // All non-throwing tasks still ran; the pool did not wedge or lose work.
+  EXPECT_EQ(completed.load(), 100);
+}
+
+TEST(ThreadPoolTest, FirstOfManyExceptionsWinsAndPoolStaysUsable) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  bool threw = false;
+  try {
+    pool.Wait();
+  } catch (const std::runtime_error& e) {
+    threw = true;
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_TRUE(threw);
+  // The error was consumed: the pool accepts and runs new work, and the
+  // next Wait() returns cleanly.
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, NonExceptionTasksUnaffectedByEarlierThrow) {
+  ThreadPool pool(4);
+  pool.Submit([] { throw 42; });  // non-std::exception payloads work too
+  EXPECT_THROW(pool.Wait(), int);
+  pool.Wait();  // cleared: no rethrow
   SUCCEED();
 }
 
