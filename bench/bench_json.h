@@ -13,8 +13,11 @@
 //         "policy": "lru",                // policy/cache under test
 //         "threads": 1,                   // concurrent client threads
 //         "ops_per_sec": 37664700.0,      // Access()/Get() calls per second
-//         "bytes_per_object": 38.2 },     // metadata bytes per cached
-//       ...                               //   object (0 = uninstrumented)
+//         "bytes_per_object": 38.2,       // metadata bytes per cached
+//                                         //   object (0 = uninstrumented)
+//         "hit_ratio": 0.87,              // hits/requests (0 = unmeasured)
+//         "scaling_efficiency": 0.93 },   // ops(T) / (T * ops(1 thread));
+//       ...                               //   0 for 1-thread/unpaired rows
 //     ]
 //   }
 //
@@ -41,6 +44,8 @@ struct BenchJsonResult {
   int64_t threads = 1;
   double ops_per_sec = 0.0;
   double bytes_per_object = 0.0;
+  double hit_ratio = 0.0;
+  double scaling_efficiency = 0.0;
 };
 
 inline std::string BenchJsonOutputPath() {
@@ -138,10 +143,45 @@ inline std::string BenchJsonToString(
     out += "      \"threads\": " + std::to_string(r.threads) + ",\n";
     out += "      \"ops_per_sec\": " + BenchJsonNumber(r.ops_per_sec) + ",\n";
     out += "      \"bytes_per_object\": " + BenchJsonNumber(r.bytes_per_object) +
-           " }";
+           ",\n";
+    out += "      \"hit_ratio\": " + BenchJsonNumber(r.hit_ratio) + ",\n";
+    out += "      \"scaling_efficiency\": " +
+           BenchJsonNumber(r.scaling_efficiency) + " }";
   }
   out += "\n  ]\n}\n";
   return out;
+}
+
+// Fills scaling_efficiency = ops(T) / (T * ops(1 thread)) for every
+// multi-thread result whose single-thread sibling (same benchmark name with
+// the "/threads:N" segment removed) is present. 1-thread rows and rows with
+// no sibling keep 0.
+inline void FillScalingEfficiency(std::vector<BenchJsonResult>* results) {
+  const auto base_name = [](const BenchJsonResult& r) {
+    std::string base = r.benchmark;
+    const size_t pos = base.find("/threads:");
+    if (pos != std::string::npos) {
+      const size_t end = base.find('/', pos + 1);
+      base.erase(pos, end == std::string::npos ? std::string::npos
+                                               : end - pos);
+    }
+    return base;
+  };
+  for (BenchJsonResult& row : *results) {
+    if (row.threads <= 1 || row.ops_per_sec <= 0.0) {
+      continue;
+    }
+    const std::string base = base_name(row);
+    for (const BenchJsonResult& other : *results) {
+      if (other.threads == 1 && other.ops_per_sec > 0.0 &&
+          base_name(other) == base) {
+        row.scaling_efficiency =
+            row.ops_per_sec /
+            (static_cast<double>(row.threads) * other.ops_per_sec);
+        break;
+      }
+    }
+  }
 }
 
 // Writes the report to `path`; returns false (and prints to stderr) on I/O

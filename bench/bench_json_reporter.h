@@ -39,6 +39,14 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
       if (it != run.counters.end()) {
         result.ops_per_sec = static_cast<double>(it->second);
       }
+      const auto hit_it = run.counters.find("hit_ratio");
+      if (hit_it != run.counters.end()) {
+        result.hit_ratio = static_cast<double>(hit_it->second);
+      }
+      const auto bytes_it = run.counters.find("bytes_per_object");
+      if (bytes_it != run.counters.end()) {
+        result.bytes_per_object = static_cast<double>(bytes_it->second);
+      }
       results_.push_back(std::move(result));
     }
     ConsoleReporter::ReportRuns(reports);

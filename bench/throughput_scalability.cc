@@ -1,17 +1,27 @@
 // Throughput & scalability: the §1/§2 motivation for FIFO-based designs.
 //
 // Compares, under 1..N threads hammering a Zipf key space:
-//   * global-lock LRU   — every hit takes the one mutex and splices;
-//   * sharded LRU       — contention divided across shards, hits still
-//                         exclusive;
-//   * concurrent CLOCK  — hits take a shared lock + one atomic store.
+//   * global-lock LRU    — every hit takes the one mutex and splices;
+//   * sharded LRU        — contention divided across shards, hits still
+//                          exclusive;
+//   * concurrent CLOCK   — lock-free hit path: one striped-index probe plus
+//                          one relaxed atomic RMW, misses batched behind a
+//                          single eviction mutex;
+//   * concurrent S3-FIFO — same hit path over the two-queue + ghost design;
+//   * concurrent QD-LP-FIFO — the paper's headline construction
+//                          (probationary FIFO + ghost + 2-bit CLOCK main).
 //
-// Expected shape: CLOCK >= sharded LRU >> global LRU as threads grow; with a
-// single hardware core the ordering still shows via lock overhead.
-
-// Results also land in BENCH_throughput.json (QDLP_BENCH_JSON overrides the
-// path) keyed by cache kind and thread count; bytes/object is reported as 0
-// here — the concurrent caches are not metadata-instrumented.
+// Expected shape: the lock-free caches >= sharded LRU >> global LRU as
+// threads grow. A skew sweep (Zipf 0.6 / 0.9 / 1.2 at a fixed thread count)
+// shows throughput as a function of hit ratio: the hotter the workload, the
+// more the lock-free hit path dominates.
+//
+// Results land in BENCH_throughput.json (QDLP_BENCH_JSON overrides the
+// path) keyed by cache kind and thread count, now with measured hit_ratio,
+// metadata bytes_per_object (via ApproxMetadataBytes), and
+// scaling_efficiency = ops(T) / (T * ops(1)). tools/bench_compare.py diffs
+// two such files and fails on regression (CI bench-smoke runs it against
+// the committed BENCH_throughput_scalability.json).
 
 #include <benchmark/benchmark.h>
 
@@ -23,6 +33,7 @@
 #include "bench/bench_json.h"
 #include "bench/bench_json_reporter.h"
 #include "src/concurrent/concurrent_clock.h"
+#include "src/concurrent/concurrent_qdlp_fifo.h"
 #include "src/concurrent/concurrent_s3fifo.h"
 #include "src/concurrent/locked_lru.h"
 #include "src/concurrent/sharded_lru.h"
@@ -35,13 +46,16 @@ namespace {
 constexpr size_t kCapacity = 1 << 16;
 constexpr size_t kKeySpace = 1 << 18;  // 4x capacity: ~mixed hits/misses
 
+// Shared driver: every thread samples the same Zipf(skew) stream shape and
+// calls Get. Reports per-run hit_ratio (averaged over threads) and, from
+// thread 0 at teardown, metadata bytes per cached object.
 template <typename CacheT, typename... Args>
-void BM_ConcurrentGet(benchmark::State& state, Args... args) {
+void BM_ConcurrentGet(benchmark::State& state, double skew, Args... args) {
   static std::unique_ptr<CacheT> cache;
   if (state.thread_index() == 0) {
     cache = std::make_unique<CacheT>(args...);
   }
-  ZipfSampler zipf(kKeySpace, 1.0);
+  ZipfSampler zipf(kKeySpace, skew);
   Rng rng(9000 + static_cast<uint64_t>(state.thread_index()));
   uint64_t hits = 0;
   for (auto _ : state) {
@@ -49,31 +63,93 @@ void BM_ConcurrentGet(benchmark::State& state, Args... args) {
   }
   benchmark::DoNotOptimize(hits);
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["hit_ratio"] = benchmark::Counter(
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(hits) /
+                static_cast<double>(state.iterations()),
+      benchmark::Counter::kAvgThreads);
   if (state.thread_index() == 0) {
+    state.counters["bytes_per_object"] = benchmark::Counter(
+        static_cast<double>(cache->ApproxMetadataBytes()) /
+        static_cast<double>(cache->capacity()));
     cache.reset();
   }
 }
 
+// Thread-scaling sweep at the canonical skew 1.0 (family names are stable:
+// bench_compare.py keys on them).
 void BM_GlobalLockLru(benchmark::State& state) {
-  BM_ConcurrentGet<GlobalLockLruCache>(state, kCapacity);
+  BM_ConcurrentGet<GlobalLockLruCache>(state, 1.0, kCapacity);
 }
 void BM_ShardedLru(benchmark::State& state) {
-  BM_ConcurrentGet<ShardedLruCache>(state, kCapacity, size_t{16});
+  BM_ConcurrentGet<ShardedLruCache>(state, 1.0, kCapacity, size_t{16});
 }
 void BM_ConcurrentClock(benchmark::State& state) {
-  BM_ConcurrentGet<ConcurrentClockCache>(state, kCapacity, 1, size_t{16});
+  BM_ConcurrentGet<ConcurrentClockCache>(state, 1.0, kCapacity, 1,
+                                         size_t{16});
 }
 void BM_ConcurrentS3Fifo(benchmark::State& state) {
-  BM_ConcurrentGet<ConcurrentS3FifoCache>(state, kCapacity, 0.10, 0.9,
+  BM_ConcurrentGet<ConcurrentS3FifoCache>(state, 1.0, kCapacity, 0.10, 0.9,
                                           size_t{16});
+}
+void BM_ConcurrentQdLpFifo(benchmark::State& state) {
+  BM_ConcurrentGet<ConcurrentQdLpFifo>(state, 1.0, kCapacity, size_t{16});
 }
 
 BENCHMARK(BM_GlobalLockLru)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 BENCHMARK(BM_ShardedLru)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 BENCHMARK(BM_ConcurrentClock)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 BENCHMARK(BM_ConcurrentS3Fifo)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK(BM_ConcurrentQdLpFifo)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+
+// Hit-ratio sweep: Zipf skew as the benchmark argument (x100, so 60 = 0.6),
+// at a fixed 2 threads. Lower skew -> lower hit ratio -> more miss-path
+// (eviction lock) pressure; the JSON's hit_ratio column pairs each
+// throughput number with the hit ratio that produced it.
+void BM_ConcurrentClockSkew(benchmark::State& state) {
+  BM_ConcurrentGet<ConcurrentClockCache>(
+      state, static_cast<double>(state.range(0)) / 100.0, kCapacity, 1,
+      size_t{16});
+}
+void BM_ConcurrentS3FifoSkew(benchmark::State& state) {
+  BM_ConcurrentGet<ConcurrentS3FifoCache>(
+      state, static_cast<double>(state.range(0)) / 100.0, kCapacity, 0.10,
+      0.9, size_t{16});
+}
+void BM_ConcurrentQdLpFifoSkew(benchmark::State& state) {
+  BM_ConcurrentGet<ConcurrentQdLpFifo>(
+      state, static_cast<double>(state.range(0)) / 100.0, kCapacity,
+      size_t{16});
+}
+
+BENCHMARK(BM_ConcurrentClockSkew)
+    ->Arg(60)
+    ->Arg(90)
+    ->Arg(120)
+    ->Threads(2)
+    ->UseRealTime();
+BENCHMARK(BM_ConcurrentS3FifoSkew)
+    ->Arg(60)
+    ->Arg(90)
+    ->Arg(120)
+    ->Threads(2)
+    ->UseRealTime();
+BENCHMARK(BM_ConcurrentQdLpFifoSkew)
+    ->Arg(60)
+    ->Arg(90)
+    ->Arg(120)
+    ->Threads(2)
+    ->UseRealTime();
 
 // Maps "BM_GlobalLockLru/threads:4/real_time" to a stable policy label.
+// Longer prefixes are tested first so e.g. BM_ConcurrentClockSkew does not
+// fall into BM_ConcurrentClock's bucket with its skew arg lost — both still
+// report the same policy, and the full benchmark name disambiguates.
 std::string CacheKindFromBenchmarkName(const std::string& name) {
   if (name.find("BM_GlobalLockLru") == 0) {
     return "global-lock-lru";
@@ -86,6 +162,9 @@ std::string CacheKindFromBenchmarkName(const std::string& name) {
   }
   if (name.find("BM_ConcurrentS3Fifo") == 0) {
     return "concurrent-s3fifo";
+  }
+  if (name.find("BM_ConcurrentQdLpFifo") == 0) {
+    return "concurrent-qdlp-fifo";
   }
   return PolicyFromBenchmarkName(name);
 }
@@ -104,6 +183,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   qdlp::JsonCaptureReporter reporter(qdlp::CacheKindFromBenchmarkName);
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  qdlp::FillScalingEfficiency(&reporter.results());
   const std::string json_path = qdlp::BenchJsonOutputPath();
   if (qdlp::WriteBenchJson(json_path, "throughput_scalability",
                            reporter.results())) {

@@ -5,13 +5,16 @@
 // exclusive lock, so FIFO-family caches are faster and scale with cores.
 // These implementations make that concrete:
 //
-//  * GlobalLockLruCache  — one mutex around an LRU (the naive memcached-style
-//                          design the paper argues against)
-//  * ShardedLruCache     — N LRU shards, each with its own mutex (the common
-//                          mitigation)
-//  * ConcurrentClockCache— sharded index protected by shared_mutex (hits take
-//                          the shared side) + atomic reference counters;
-//                          hits perform no exclusive locking at all
+//  * GlobalLockLruCache   — one mutex around an LRU (the naive
+//                           memcached-style design the paper argues against)
+//  * ShardedLruCache      — N LRU shards, each with its own mutex (the
+//                           common mitigation)
+//  * ConcurrentClockCache — lock-free hit path (striped atomic index + one
+//                           relaxed RMW on a reference counter); misses
+//                           batch behind one eviction mutex
+//  * ConcurrentS3FifoCache— same hit path over S3-FIFO's two queues + ghost
+//  * ConcurrentQdLpFifo   — QD-LP-FIFO (probationary FIFO + ghost + 2-bit
+//                           CLOCK main) as a concurrent cache
 //
 // Get() is get-or-admit: returns true on hit, and on miss admits the id
 // (evicting if needed), mirroring EvictionPolicy::Access.
@@ -40,6 +43,11 @@ class ConcurrentCache {
   // quiescent points (e.g. after joining worker threads). Non-const because
   // it acquires the same mutexes the operational paths use.
   virtual void CheckInvariants() {}
+
+  // Bytes of metadata held (indexes, ring slots, ghost entries, insert
+  // buffers) — the numerator for bytes/object in the bench JSON. 0 when a
+  // cache does not account for itself.
+  virtual size_t ApproxMetadataBytes() const { return 0; }
 };
 
 }  // namespace qdlp

@@ -1,111 +1,120 @@
 #include "src/concurrent/concurrent_clock.h"
 
-#include <algorithm>
-
 #include "src/util/check.h"
-#include "src/util/random.h"
 
 namespace qdlp {
 
 ConcurrentClockCache::ConcurrentClockCache(size_t capacity, int bits,
-                                           size_t num_shards)
+                                           size_t num_stripes)
     : capacity_(capacity),
       max_counter_(static_cast<uint8_t>((1u << bits) - 1)),
+      index_(capacity, num_stripes),
       slots_(capacity) {
+  QDLP_CHECK(capacity >= 1);
+  QDLP_CHECK(capacity <= 0x7FFFFFFFu);  // index values are 32-bit slot ids
   QDLP_CHECK(bits >= 1 && bits <= 8);
-  QDLP_CHECK(num_shards >= 1);
-  shards_.reserve(num_shards);
-  for (size_t i = 0; i < num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
-  }
 }
 
 void ConcurrentClockCache::CheckInvariants() {
   std::lock_guard<std::mutex> eviction_lock(eviction_mu_);
+  DrainLocked();
   const size_t used = used_.load(std::memory_order_relaxed);
   QDLP_CHECK(used <= capacity_);
-  QDLP_CHECK(hand_ < capacity_ || capacity_ == 0);
+  QDLP_CHECK(hand_ < capacity_);
   size_t occupied = 0;
   for (size_t slot = 0; slot < capacity_; ++slot) {
     if (slot >= used) {
       // Never-admitted slots beyond the bump allocator are unoccupied.
-      QDLP_CHECK(!slots_[slot].occupied.load(std::memory_order_acquire));
+      QDLP_CHECK(!slots_[slot].occupied);
       continue;
     }
-    if (slots_[slot].occupied.load(std::memory_order_acquire)) {
+    if (slots_[slot].occupied) {
       ++occupied;
       QDLP_CHECK(slots_[slot].counter.load(std::memory_order_relaxed) <=
                  max_counter_);
     }
   }
-  // Each shard-index entry points at an occupied slot holding that id; the
-  // union of shards covers every occupied slot exactly once.
+  // Each index entry points at an occupied slot holding that id, and the
+  // index covers every occupied slot exactly once.
   size_t indexed = 0;
-  for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
-    for (const auto& [id, slot] : shard->index) {
-      QDLP_CHECK(slot < capacity_);
-      QDLP_CHECK(slots_[slot].occupied.load(std::memory_order_acquire));
-      QDLP_CHECK(slots_[slot].id.load(std::memory_order_relaxed) == id);
-      ++indexed;
-    }
-  }
+  index_.ForEach([&](ObjectId id, uint32_t slot) {
+    QDLP_CHECK(slot < capacity_);
+    QDLP_CHECK(slots_[slot].occupied);
+    QDLP_CHECK(slots_[slot].id == id);
+    ++indexed;
+  });
   QDLP_CHECK(indexed == occupied);
+  QDLP_CHECK(index_.size() == occupied);
+  index_.CheckInvariants();
 }
 
-ConcurrentClockCache::Shard& ConcurrentClockCache::ShardFor(ObjectId id) {
-  return *shards_[SplitMix64(id) % shards_.size()];
+size_t ConcurrentClockCache::ApproxMetadataBytes() const {
+  return index_.MemoryBytes() + slots_.capacity() * sizeof(Slot) +
+         buffers_.MemoryBytes();
 }
 
 bool ConcurrentClockCache::Get(ObjectId id) {
-  Shard& shard = ShardFor(id);
-  {
-    // Hit path: shared (read) lock + one relaxed atomic store. No pointer
-    // updates, no exclusive locking — the Lazy Promotion property.
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    const auto it = shard.index.find(id);
-    if (it != shard.index.end()) {
-      Slot& slot = slots_[it->second];
-      const uint8_t current = slot.counter.load(std::memory_order_relaxed);
-      if (current < max_counter_) {
-        slot.counter.store(current + 1, std::memory_order_relaxed);
-      }
-      return true;
+  // Hit path: one probe plus one relaxed RMW — no locking of any kind.
+  uint32_t slot_index;
+  if (index_.Find(id, &slot_index)) {
+    std::atomic<uint8_t>& counter = slots_[slot_index].counter;
+    const uint8_t current = counter.load(std::memory_order_relaxed);
+    if (current < max_counter_) {
+      // Racy saturating bump: a lost increment under contention only costs
+      // a reference bit, never correctness.
+      counter.store(current + 1, std::memory_order_relaxed);
     }
+    return true;
   }
 
-  // Miss path: serialized by the eviction mutex.
-  std::lock_guard<std::mutex> eviction_lock(eviction_mu_);
-  {
-    // Another thread may have admitted `id` while we waited.
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    if (shard.index.contains(id)) {
-      return true;
-    }
+  // Miss path. Uncontended (and always, single-threaded): take the lock,
+  // drain any buffered misses, admit. Contended: buffer the id for the
+  // current lock holder to admit and return without blocking; only when
+  // the buffer is full do we wait on the mutex.
+  if (eviction_mu_.try_lock()) {
+    std::lock_guard<std::mutex> eviction_lock(eviction_mu_, std::adopt_lock);
+    DrainLocked();
+    return !AdmitLocked(id);
+  }
+  if (buffers_.TryPush(id)) {
+    return false;
+  }
+  // Buffers full while the lock is held elsewhere — on an oversubscribed
+  // machine that usually means the lock holder was preempted mid-drain.
+  // Blocking here would convoy every missing thread behind the sleeping
+  // holder, so admission is best-effort instead: drop this one (the object
+  // is buffered or admitted on its next miss) and keep Get() non-blocking.
+  return false;
+}
+
+void ConcurrentClockCache::DrainLocked() {
+  buffers_.Drain([this](uint64_t id) { AdmitLocked(id); });
+}
+
+bool ConcurrentClockCache::AdmitLocked(ObjectId id) {
+  if (index_.Contains(id)) {
+    return false;  // another thread (or an earlier buffered copy) admitted it
   }
   size_t slot_index;
   if (used_.load(std::memory_order_relaxed) < capacity_) {
     slot_index = used_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    slot_index = EvictOne();
+    slot_index = EvictOneLocked();
   }
   Slot& slot = slots_[slot_index];
-  slot.id.store(id, std::memory_order_relaxed);
+  slot.id = id;
   slot.counter.store(0, std::memory_order_relaxed);
-  slot.occupied.store(true, std::memory_order_release);
-  {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
-    shard.index[id] = slot_index;
-  }
-  return false;
+  slot.occupied = true;
+  index_.Insert(id, static_cast<uint32_t>(slot_index));
+  return true;
 }
 
-size_t ConcurrentClockCache::EvictOne() {
+size_t ConcurrentClockCache::EvictOneLocked() {
   while (true) {
     Slot& slot = slots_[hand_];
     const size_t current = hand_;
     hand_ = (hand_ + 1) % capacity_;
-    if (!slot.occupied.load(std::memory_order_acquire)) {
+    if (!slot.occupied) {
       return current;
     }
     const uint8_t counter = slot.counter.load(std::memory_order_relaxed);
@@ -113,13 +122,11 @@ size_t ConcurrentClockCache::EvictOne() {
       slot.counter.store(counter - 1, std::memory_order_relaxed);
       continue;
     }
-    const ObjectId victim = slot.id.load(std::memory_order_relaxed);
-    Shard& shard = ShardFor(victim);
-    {
-      std::unique_lock<std::shared_mutex> lock(shard.mu);
-      shard.index.erase(victim);
-    }
-    slot.occupied.store(false, std::memory_order_release);
+    // Erase from the index first: readers stop finding the victim before
+    // its slot is recycled. A reader that raced and already fetched the
+    // slot id at worst bumps the successor's counter once — benign.
+    index_.Erase(slot.id);
+    slot.occupied = false;
     return current;
   }
 }

@@ -1,0 +1,212 @@
+#include "src/concurrent/concurrent_qdlp_fifo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace qdlp {
+
+namespace {
+
+// MakePolicy("qd-lp-fifo")'s split: probation 10% (rounded, at least 1,
+// at most capacity - 1), main the remainder.
+size_t ProbationCapacity(size_t capacity) {
+  size_t probation = std::max<size_t>(
+      1,
+      static_cast<size_t>(std::llround(static_cast<double>(capacity) * 0.10)));
+  return std::min(probation, capacity - 1);
+}
+
+}  // namespace
+
+ConcurrentQdLpFifo::ConcurrentQdLpFifo(size_t capacity, size_t num_stripes)
+    : capacity_(capacity),
+      probation_capacity_(ProbationCapacity(capacity)),
+      main_capacity_(capacity - probation_capacity_),
+      ghost_capacity_(main_capacity_),  // ghost_factor = 1.0
+      index_(capacity, num_stripes),
+      probation_(probation_capacity_),
+      main_(main_capacity_),
+      ghost_(ghost_capacity_) {
+  QDLP_CHECK(capacity >= 2);  // need at least one slot in each region
+  QDLP_CHECK(capacity <= 0x7FFFFFFFu);  // index values carry a 1-bit tag
+}
+
+void ConcurrentQdLpFifo::CheckInvariants() {
+  std::lock_guard<std::mutex> eviction_lock(eviction_mu_);
+  DrainLocked();
+  QDLP_CHECK(probation_count_ <= probation_capacity_);
+  QDLP_CHECK(probation_head_ < probation_capacity_);
+  QDLP_CHECK(main_used_ <= main_capacity_);
+  QDLP_CHECK(main_hand_ < main_capacity_);
+  // Probation ring entries are indexed at their physical position.
+  for (size_t i = 0; i < probation_count_; ++i) {
+    const size_t pos = (probation_head_ + i) % probation_capacity_;
+    uint32_t value;
+    QDLP_CHECK(index_.Find(probation_[pos].id, &value));
+    QDLP_CHECK(value == static_cast<uint32_t>(pos));
+  }
+  // Main ring occupancy matches the bump allocator and the index.
+  size_t main_occupied = 0;
+  for (size_t slot = 0; slot < main_capacity_; ++slot) {
+    if (slot >= main_used_) {
+      QDLP_CHECK(!main_[slot].occupied);
+      continue;
+    }
+    if (!main_[slot].occupied) {
+      continue;
+    }
+    ++main_occupied;
+    QDLP_CHECK(main_[slot].counter.load(std::memory_order_relaxed) <=
+               kMaxCounter);
+    uint32_t value;
+    QDLP_CHECK(index_.Find(main_[slot].id, &value));
+    QDLP_CHECK(value == (kMainBit | static_cast<uint32_t>(slot)));
+  }
+  const size_t resident = resident_.load(std::memory_order_relaxed);
+  QDLP_CHECK(resident == probation_count_ + main_occupied);
+  QDLP_CHECK(resident <= capacity_);
+  QDLP_CHECK(index_.size() == resident);
+  // An object holds space in exactly one region; the tags above prove
+  // probation/main disjointness (one index entry per id). Ghost entries
+  // are history, never resident.
+  ghost_.ForEachLive(
+      [&](ObjectId id) { QDLP_CHECK(!index_.Contains(id)); });
+  QDLP_CHECK(ghost_.live_size() <= ghost_capacity_);
+  ghost_.CheckInvariants();
+  index_.CheckInvariants();
+}
+
+size_t ConcurrentQdLpFifo::ApproxMetadataBytes() const {
+  return index_.MemoryBytes() +
+         probation_.capacity() * sizeof(ProbationSlot) +
+         main_.capacity() * sizeof(MainSlot) + ghost_.ApproxMetadataBytes() +
+         buffers_.MemoryBytes();
+}
+
+bool ConcurrentQdLpFifo::Get(ObjectId id) {
+  // Hit path: one lock-free probe, then a single relaxed store (probation
+  // accessed bit) or relaxed saturating bump (main CLOCK counter).
+  uint32_t value;
+  if (index_.Find(id, &value)) {
+    if (value & kMainBit) {
+      std::atomic<uint8_t>& counter = main_[value & ~kMainBit].counter;
+      const uint8_t current = counter.load(std::memory_order_relaxed);
+      if (current < kMaxCounter) {
+        counter.store(current + 1, std::memory_order_relaxed);
+      }
+    } else {
+      // Racing with a quick demotion that recycles this probation slot,
+      // the bit can land on the slot's next occupant — one spurious
+      // promotion candidate, never a correctness issue.
+      probation_[value].accessed.store(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  // Miss path: batched BP-Wrapper admission, identical to concurrent_clock.
+  if (eviction_mu_.try_lock()) {
+    std::lock_guard<std::mutex> eviction_lock(eviction_mu_, std::adopt_lock);
+    DrainLocked();
+    return MissLocked(id);
+  }
+  if (buffers_.TryPush(id)) {
+    return false;
+  }
+  // Buffers full while the lock is held elsewhere (typically a preempted
+  // holder): drop the admission rather than convoy on the mutex. Admission
+  // is best-effort under overload; Get() never blocks.
+  return false;
+}
+
+void ConcurrentQdLpFifo::DrainLocked() {
+  buffers_.Drain([this](uint64_t id) { MissLocked(id); });
+}
+
+bool ConcurrentQdLpFifo::MissLocked(ObjectId id) {
+  if (index_.Contains(id)) {
+    return true;  // another thread (or an earlier buffered copy) admitted it
+  }
+  if (ghost_.Consume(id)) {
+    // Quick-demoted once already: admit straight into the main cache.
+    MainInsert(id);
+    resident_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  AdmitToProbation(id);
+  resident_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ConcurrentQdLpFifo::AdmitToProbation(ObjectId id) {
+  while (probation_count_ >= probation_capacity_) {
+    EvictFromProbation();
+  }
+  const size_t pos =
+      (probation_head_ + probation_count_) % probation_capacity_;
+  ProbationSlot& slot = probation_[pos];
+  slot.id = id;
+  slot.accessed.store(0, std::memory_order_relaxed);
+  ++probation_count_;
+  index_.Insert(id, static_cast<uint32_t>(pos));
+}
+
+void ConcurrentQdLpFifo::EvictFromProbation() {
+  QDLP_DCHECK(probation_count_ > 0);
+  ProbationSlot& slot = probation_[probation_head_];
+  probation_head_ = (probation_head_ + 1) % probation_capacity_;
+  --probation_count_;
+  const ObjectId victim = slot.id;
+  const bool accessed =
+      slot.accessed.load(std::memory_order_relaxed) != 0;
+  // Erase before the slot can be recycled: readers stop finding the victim
+  // first (a racing reader at worst sets the next occupant's accessed bit).
+  index_.Erase(victim);
+  if (accessed) {
+    // Lazy promotion: re-accessed while on probation -> main cache.
+    MainInsert(victim);
+  } else {
+    // Quick demotion: one lap through the small FIFO was its only chance.
+    ghost_.Insert(victim);
+    resident_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ConcurrentQdLpFifo::MainInsert(ObjectId id) {
+  size_t slot_index;
+  if (main_used_ < main_capacity_) {
+    slot_index = main_used_++;
+  } else {
+    slot_index = MainEvictOneLocked();
+  }
+  MainSlot& slot = main_[slot_index];
+  slot.id = id;
+  slot.counter.store(0, std::memory_order_relaxed);
+  slot.occupied = true;
+  index_.Insert(id, kMainBit | static_cast<uint32_t>(slot_index));
+}
+
+size_t ConcurrentQdLpFifo::MainEvictOneLocked() {
+  while (true) {
+    MainSlot& slot = main_[main_hand_];
+    const size_t current = main_hand_;
+    main_hand_ = (main_hand_ + 1) % main_capacity_;
+    if (!slot.occupied) {
+      return current;
+    }
+    const uint8_t counter = slot.counter.load(std::memory_order_relaxed);
+    if (counter > 0) {
+      slot.counter.store(counter - 1, std::memory_order_relaxed);
+      continue;
+    }
+    // Main evictions are final: no ghost record (only quick demotions from
+    // probation feed the ghost), matching the sequential QdCache.
+    index_.Erase(slot.id);
+    slot.occupied = false;
+    resident_.fetch_sub(1, std::memory_order_relaxed);
+    return current;
+  }
+}
+
+}  // namespace qdlp

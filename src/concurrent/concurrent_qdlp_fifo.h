@@ -1,0 +1,118 @@
+// QD-LP-FIFO — the paper's headline construction (§4, Fig 4) — as a
+// thread-safe cache with a truly lock-free hit path.
+//
+// Layout mirrors the sequential QdCache over a 2-bit CLOCK:
+//
+//   probation  — a small circular FIFO (default 10% of capacity); a hit
+//                sets one per-entry accessed bit
+//   main       — a 2-bit CLOCK ring over the remaining 90%
+//   ghost      — metadata-only memory of quick-demoted ids, as large as
+//                the main region (sharded_ghost.h)
+//
+// One striped atomic index (striped_index.h) maps id -> tagged location
+// (probation slot or main slot); a hit is one lock-free probe plus a single
+// relaxed store (the accessed bit) or relaxed RMW (the CLOCK counter) —
+// lazy promotion's "at most one metadata update, no locking" made literal.
+// Misses — admission, quick demotion, ghost resurrection, CLOCK eviction —
+// serialize behind one mutex with BP-Wrapper-style MPSC buffering exactly
+// as in concurrent_clock.h.
+//
+// Driven from a single thread this class is request-for-request identical
+// to MakePolicy("qd-lp-fifo") — the oracle differential tests pin it
+// against the sequential reference model.
+
+#ifndef QDLP_SRC_CONCURRENT_CONCURRENT_QDLP_FIFO_H_
+#define QDLP_SRC_CONCURRENT_CONCURRENT_QDLP_FIFO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/concurrent/concurrent_cache.h"
+#include "src/concurrent/mpsc_ring.h"
+#include "src/concurrent/sharded_ghost.h"
+#include "src/concurrent/striped_index.h"
+
+namespace qdlp {
+
+class ConcurrentQdLpFifo : public ConcurrentCache {
+ public:
+  // Capacity is split exactly as MakePolicy("qd-lp-fifo") splits it:
+  // probation = clamp(round(0.10 * capacity), 1, capacity - 1), main the
+  // rest, ghost as large as main. Requires capacity >= 2.
+  explicit ConcurrentQdLpFifo(size_t capacity, size_t num_stripes = 16);
+
+  bool Get(ObjectId id) override;
+  size_t capacity() const override { return capacity_; }
+  const char* name() const override { return "concurrent-qdlp-fifo"; }
+
+  // Resident object count (approximate under concurrency).
+  size_t size() const { return resident_.load(std::memory_order_relaxed); }
+
+  size_t probation_capacity() const { return probation_capacity_; }
+  size_t main_capacity() const { return main_capacity_; }
+
+  // Region accounting, index/region agreement, probation/main/ghost
+  // disjointness, under eviction_mu_ (buffered misses drained first).
+  void CheckInvariants() override;
+
+  size_t ApproxMetadataBytes() const override;
+
+ private:
+  static constexpr uint8_t kMaxCounter = 3;  // 2-bit CLOCK
+  // Index value tag: high bit = main region, low 31 bits = slot.
+  static constexpr uint32_t kMainBit = 0x80000000u;
+
+  // Probation ring entry. Only `accessed` is touched by concurrent readers
+  // (the lock-free hit path); `id` is written solely under eviction_mu_.
+  struct ProbationSlot {
+    ObjectId id = 0;
+    std::atomic<uint8_t> accessed{0};
+  };
+
+  // Main CLOCK ring slot, identical to concurrent_clock.h's.
+  struct MainSlot {
+    ObjectId id = 0;
+    std::atomic<uint8_t> counter{0};
+    bool occupied = false;
+  };
+
+  // All of the below run under eviction_mu_.
+  // Admits `id` unless already resident; returns true on (raced) hit.
+  bool MissLocked(ObjectId id);
+  void DrainLocked();
+  // Pushes `id` into probation, quick-demoting / lazily promoting the
+  // oldest entries as needed to make room.
+  void AdmitToProbation(ObjectId id);
+  // Evicts the oldest probationary entry: accessed -> main (lazy
+  // promotion), untouched -> ghost (quick demotion).
+  void EvictFromProbation();
+  // Inserts `id` into the main CLOCK ring, evicting if full. Main
+  // evictions leave no ghost trace (only probation demotions do).
+  void MainInsert(ObjectId id);
+  size_t MainEvictOneLocked();
+
+  const size_t capacity_;
+  size_t probation_capacity_;
+  size_t main_capacity_;
+  size_t ghost_capacity_;
+
+  StripedAtomicIndex index_;  // id -> kMainBit-tagged slot
+  std::vector<ProbationSlot> probation_;  // circular FIFO storage
+  std::vector<MainSlot> main_;            // CLOCK ring storage
+
+  // Miss-path state, padded off the hit path's cache lines.
+  alignas(64) std::atomic<size_t> resident_{0};
+  alignas(64) std::mutex eviction_mu_;
+  size_t probation_head_ = 0;   // oldest entry's ring position
+  size_t probation_count_ = 0;
+  size_t main_used_ = 0;        // bump allocator over main_
+  size_t main_hand_ = 0;
+  ShardedGhost ghost_;
+  InsertBuffers buffers_;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_CONCURRENT_CONCURRENT_QDLP_FIFO_H_

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "src/util/check.h"
-#include "src/util/random.h"
 
 namespace qdlp {
 
@@ -12,139 +11,150 @@ ConcurrentS3FifoCache::ConcurrentS3FifoCache(size_t capacity,
                                              double small_fraction,
                                              double ghost_factor,
                                              size_t num_shards)
-    : capacity_(capacity) {
+    : capacity_(capacity),
+      index_(capacity, num_shards),
+      slab_(capacity),
+      ghost_(/*capacity=*/std::max<size_t>(
+          1, static_cast<size_t>(std::llround(static_cast<double>(capacity) *
+                                              ghost_factor)))) {
   QDLP_CHECK(capacity >= 1);
+  QDLP_CHECK(capacity <= 0x7FFFFFFFu);  // index values are 32-bit slab slots
   QDLP_CHECK(small_fraction > 0.0 && small_fraction < 1.0);
   QDLP_CHECK(num_shards >= 1);
   small_capacity_ = std::max<size_t>(
       1, static_cast<size_t>(std::llround(static_cast<double>(capacity) *
                                           small_fraction)));
   small_capacity_ = std::min(small_capacity_, capacity);
-  ghost_capacity_ = std::max<size_t>(
-      1, static_cast<size_t>(std::llround(static_cast<double>(capacity) *
-                                          ghost_factor)));
-  shards_.reserve(num_shards);
-  for (size_t i = 0; i < num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
-  }
+  ghost_capacity_ = ghost_.capacity();
 }
 
 void ConcurrentS3FifoCache::CheckInvariants() {
   std::lock_guard<std::mutex> eviction_lock(eviction_mu_);
-  QDLP_CHECK(owner_.size() <= capacity_);
-  QDLP_CHECK(small_count_ + main_count_ == owner_.size());
-  QDLP_CHECK(resident_.load(std::memory_order_relaxed) == owner_.size());
-  QDLP_CHECK(small_fifo_.size() == small_count_);
-  QDLP_CHECK(main_fifo_.size() == main_count_);
-  for (const Node* node : small_fifo_) {
-    QDLP_CHECK(node->where == Where::kSmall);
-    const auto it = owner_.find(node->id);
-    QDLP_CHECK(it != owner_.end());
-    QDLP_CHECK(it->second.get() == node);
+  DrainLocked();
+  const size_t resident = resident_.load(std::memory_order_relaxed);
+  QDLP_CHECK(resident <= capacity_);
+  QDLP_CHECK(small_fifo_.count + main_fifo_.count == resident);
+  QDLP_CHECK(slab_used_ <= capacity_);
+  // Walk both FIFOs: link structure must be consistent with the counts,
+  // tags, and the index.
+  size_t walked = 0;
+  for (const Fifo* fifo : {&small_fifo_, &main_fifo_}) {
+    const Where expect =
+        fifo == &small_fifo_ ? Where::kSmall : Where::kMain;
+    size_t count = 0;
+    uint32_t slot = fifo->head;
+    uint32_t last = kNil;
+    while (slot != kNil) {
+      QDLP_CHECK(slot < slab_used_);
+      const Node& node = slab_[slot];
+      QDLP_CHECK(node.where == expect);
+      QDLP_CHECK(node.freq.load(std::memory_order_relaxed) <= kMaxFreq);
+      uint32_t indexed_slot;
+      QDLP_CHECK(index_.Find(node.id, &indexed_slot));
+      QDLP_CHECK(indexed_slot == slot);
+      last = slot;
+      slot = node.next;
+      ++count;
+      QDLP_CHECK(count <= resident);  // cycle guard
+    }
+    QDLP_CHECK(last == fifo->tail);
+    QDLP_CHECK(count == fifo->count);
+    walked += count;
   }
-  for (const Node* node : main_fifo_) {
-    QDLP_CHECK(node->where == Where::kMain);
-    const auto it = owner_.find(node->id);
-    QDLP_CHECK(it != owner_.end());
-    QDLP_CHECK(it->second.get() == node);
-  }
+  QDLP_CHECK(walked == resident);
+  QDLP_CHECK(index_.size() == resident);
   // Ghost entries are evicted history; none may still be resident.
-  for (const auto& [id, generation] : ghost_live_) {
-    (void)generation;
-    QDLP_CHECK(!owner_.contains(id));
+  ghost_.ForEachLive(
+      [&](ObjectId id) { QDLP_CHECK(!index_.Contains(id)); });
+  QDLP_CHECK(ghost_.live_size() <= ghost_capacity_);
+  ghost_.CheckInvariants();
+  index_.CheckInvariants();
+}
+
+size_t ConcurrentS3FifoCache::ApproxMetadataBytes() const {
+  return index_.MemoryBytes() + slab_.capacity() * sizeof(Node) +
+         ghost_.ApproxMetadataBytes() + buffers_.MemoryBytes();
+}
+
+void ConcurrentS3FifoCache::PushBack(Fifo& fifo, uint32_t slot) {
+  slab_[slot].next = kNil;
+  if (fifo.tail == kNil) {
+    fifo.head = slot;
+  } else {
+    slab_[fifo.tail].next = slot;
   }
-  QDLP_CHECK(ghost_live_.size() <= ghost_capacity_);
-  // The shard indexes, unioned, are exactly the owned nodes.
-  size_t indexed = 0;
-  for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
-    for (const auto& [id, node] : shard->index) {
-      const auto it = owner_.find(id);
-      QDLP_CHECK(it != owner_.end());
-      QDLP_CHECK(it->second.get() == node);
-      ++indexed;
-    }
+  fifo.tail = slot;
+  ++fifo.count;
+}
+
+uint32_t ConcurrentS3FifoCache::PopFront(Fifo& fifo) {
+  QDLP_DCHECK(fifo.head != kNil);
+  const uint32_t slot = fifo.head;
+  fifo.head = slab_[slot].next;
+  if (fifo.head == kNil) {
+    fifo.tail = kNil;
   }
-  QDLP_CHECK(indexed == owner_.size());
+  --fifo.count;
+  return slot;
 }
 
-ConcurrentS3FifoCache::Shard& ConcurrentS3FifoCache::ShardFor(ObjectId id) {
-  return *shards_[SplitMix64(id) % shards_.size()];
-}
-
-void ConcurrentS3FifoCache::IndexInsert(ObjectId id, Node* node) {
-  Shard& shard = ShardFor(id);
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
-  shard.index[id] = node;
-}
-
-void ConcurrentS3FifoCache::IndexErase(ObjectId id) {
-  Shard& shard = ShardFor(id);
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
-  shard.index.erase(id);
-}
-
-void ConcurrentS3FifoCache::GhostInsert(ObjectId id) {
-  const uint64_t generation = ghost_generation_++;
-  ghost_fifo_.emplace_back(id, generation);
-  ghost_live_[id] = generation;
-  while (ghost_live_.size() > ghost_capacity_ && !ghost_fifo_.empty()) {
-    const auto [oldest_id, oldest_generation] = ghost_fifo_.front();
-    ghost_fifo_.pop_front();
-    const auto it = ghost_live_.find(oldest_id);
-    if (it != ghost_live_.end() && it->second == oldest_generation) {
-      ghost_live_.erase(it);
-    }
+uint32_t ConcurrentS3FifoCache::AllocSlot() {
+  if (free_head_ != kNil) {
+    const uint32_t slot = free_head_;
+    free_head_ = slab_[slot].next;
+    return slot;
   }
+  QDLP_DCHECK(slab_used_ < capacity_);
+  return static_cast<uint32_t>(slab_used_++);
 }
 
-bool ConcurrentS3FifoCache::GhostConsume(ObjectId id) {
-  return ghost_live_.erase(id) > 0;
+void ConcurrentS3FifoCache::FreeSlot(uint32_t slot) {
+  slab_[slot].next = free_head_;
+  free_head_ = slot;
 }
 
 void ConcurrentS3FifoCache::EvictSmall() {
-  QDLP_DCHECK(!small_fifo_.empty());
-  Node* node = small_fifo_.front();
-  small_fifo_.pop_front();
-  --small_count_;
-  if (node->freq.load(std::memory_order_relaxed) >= 1) {
-    node->where = Where::kMain;
-    node->freq.store(0, std::memory_order_relaxed);
-    main_fifo_.push_back(node);
-    ++main_count_;
+  const uint32_t slot = PopFront(small_fifo_);
+  Node& node = slab_[slot];
+  if (node.freq.load(std::memory_order_relaxed) >= 1) {
+    // Quick-demotion survivor: promote to main with frequency reset. The
+    // index maps id -> slab slot, which does not change — no index write.
+    node.where = Where::kMain;
+    node.freq.store(0, std::memory_order_relaxed);
+    PushBack(main_fifo_, slot);
     return;
   }
-  const ObjectId victim = node->id;
-  IndexErase(victim);
-  GhostInsert(victim);
-  owner_.erase(victim);
+  const ObjectId victim = node.id;
+  // Erase from the index before recycling the slot: readers stop finding
+  // the victim first. A racing reader that already fetched the slot at
+  // worst bumps the successor's frequency once — benign.
+  index_.Erase(victim);
+  ghost_.Insert(victim);
+  FreeSlot(slot);
   resident_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void ConcurrentS3FifoCache::EvictMain() {
   while (true) {
-    QDLP_DCHECK(!main_fifo_.empty());
-    Node* node = main_fifo_.front();
-    main_fifo_.pop_front();
-    const uint8_t freq = node->freq.load(std::memory_order_relaxed);
+    const uint32_t slot = PopFront(main_fifo_);
+    Node& node = slab_[slot];
+    const uint8_t freq = node.freq.load(std::memory_order_relaxed);
     if (freq > 0) {
-      node->freq.store(freq - 1, std::memory_order_relaxed);
-      main_fifo_.push_back(node);
+      node.freq.store(freq - 1, std::memory_order_relaxed);
+      PushBack(main_fifo_, slot);
       continue;
     }
-    const ObjectId victim = node->id;
-    --main_count_;
-    IndexErase(victim);
-    owner_.erase(victim);
+    index_.Erase(node.id);
+    FreeSlot(slot);
     resident_.fetch_sub(1, std::memory_order_relaxed);
     return;
   }
 }
 
 void ConcurrentS3FifoCache::MakeRoom() {
-  while (owner_.size() >= capacity_) {
-    if (small_count_ > 0 &&
-        (small_count_ >= small_capacity_ || main_count_ == 0)) {
+  while (resident_.load(std::memory_order_relaxed) >= capacity_) {
+    if (small_fifo_.count > 0 &&
+        (small_fifo_.count >= small_capacity_ || main_fifo_.count == 0)) {
       EvictSmall();
     } else {
       EvictMain();
@@ -152,46 +162,55 @@ void ConcurrentS3FifoCache::MakeRoom() {
   }
 }
 
-bool ConcurrentS3FifoCache::Get(ObjectId id) {
-  Shard& shard = ShardFor(id);
-  {
-    // Hit path: shared lock + one relaxed saturating increment.
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    const auto it = shard.index.find(id);
-    if (it != shard.index.end()) {
-      Node* node = it->second;
-      const uint8_t freq = node->freq.load(std::memory_order_relaxed);
-      if (freq < kMaxFreq) {
-        node->freq.store(freq + 1, std::memory_order_relaxed);
-      }
-      return true;
-    }
-  }
-
-  std::lock_guard<std::mutex> eviction_lock(eviction_mu_);
-  {
-    // Re-check: another thread may have admitted it meanwhile.
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    if (shard.index.contains(id)) {
-      return true;
-    }
+bool ConcurrentS3FifoCache::MissLocked(ObjectId id) {
+  if (index_.Contains(id)) {
+    return true;  // another thread (or an earlier buffered copy) admitted it
   }
   MakeRoom();
-  auto node = std::make_unique<Node>();
-  node->id = id;
-  Node* raw = node.get();
-  if (GhostConsume(id)) {
-    raw->where = Where::kMain;
-    main_fifo_.push_back(raw);
-    ++main_count_;
+  const uint32_t slot = AllocSlot();
+  Node& node = slab_[slot];
+  node.id = id;
+  node.freq.store(0, std::memory_order_relaxed);
+  if (ghost_.Consume(id)) {
+    node.where = Where::kMain;
+    PushBack(main_fifo_, slot);
   } else {
-    raw->where = Where::kSmall;
-    small_fifo_.push_back(raw);
-    ++small_count_;
+    node.where = Where::kSmall;
+    PushBack(small_fifo_, slot);
   }
-  owner_[id] = std::move(node);
   resident_.fetch_add(1, std::memory_order_relaxed);
-  IndexInsert(id, raw);
+  index_.Insert(id, slot);
+  return false;
+}
+
+void ConcurrentS3FifoCache::DrainLocked() {
+  buffers_.Drain([this](uint64_t id) { MissLocked(id); });
+}
+
+bool ConcurrentS3FifoCache::Get(ObjectId id) {
+  // Hit path: one probe plus one relaxed saturating increment — lock-free.
+  uint32_t slot;
+  if (index_.Find(id, &slot)) {
+    std::atomic<uint8_t>& freq = slab_[slot].freq;
+    const uint8_t current = freq.load(std::memory_order_relaxed);
+    if (current < kMaxFreq) {
+      freq.store(current + 1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  // Miss path: batched BP-Wrapper admission, identical to concurrent_clock.
+  if (eviction_mu_.try_lock()) {
+    std::lock_guard<std::mutex> eviction_lock(eviction_mu_, std::adopt_lock);
+    DrainLocked();
+    return MissLocked(id);
+  }
+  if (buffers_.TryPush(id)) {
+    return false;
+  }
+  // Buffers full while the lock is held elsewhere (typically a preempted
+  // holder): drop the admission rather than convoy on the mutex. Admission
+  // is best-effort under overload; Get() never blocks.
   return false;
 }
 

@@ -1,10 +1,18 @@
-// Thread-safe S3-FIFO with a lock-free hit path.
+// Thread-safe S3-FIFO with a truly lock-free hit path.
 //
 // S3-FIFO was designed for exactly this: hits touch only a per-object
-// atomic frequency counter (no queue reordering ever), so the hot path
-// needs just a shared-mode index lock plus one relaxed atomic RMW. All
-// queue surgery (admission, small->main promotion, ghost bookkeeping)
-// happens on the miss path under one eviction mutex.
+// atomic frequency counter (no queue reordering ever), so the hot path is
+// one probe of the striped atomic index (striped_index.h) plus one relaxed
+// RMW — no shared_mutex, no reader registration. All queue surgery
+// (admission, small->main promotion, ghost bookkeeping) happens on the
+// miss path under one eviction mutex, BP-Wrapper style: contended misses
+// buffer their id into an MPSC ring and return; the next lock holder
+// drains the batch under its single acquisition.
+//
+// Storage is a fixed slab of nodes (no per-object allocation): the two
+// FIFOs are intrusive singly-linked lists threaded through slab slots, and
+// the index maps id -> slab slot, which is stable across queue movement —
+// promotion and main-queue reinsertion never touch the index at all.
 //
 // Single-threaded, this class is semantically identical to S3FifoPolicy
 // (same queues, same ghost, same frequency rules) — the unit tests replay
@@ -15,14 +23,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
-#include <memory>
 #include <mutex>
-#include <shared_mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "src/concurrent/concurrent_cache.h"
+#include "src/concurrent/mpsc_ring.h"
+#include "src/concurrent/sharded_ghost.h"
+#include "src/concurrent/striped_index.h"
 
 namespace qdlp {
 
@@ -38,56 +45,63 @@ class ConcurrentS3FifoCache : public ConcurrentCache {
   // Resident object count (approximate under concurrency).
   size_t size() const { return resident_.load(std::memory_order_relaxed); }
 
-  // Queue-size accounting, shard-index/owner agreement, and ghost/resident
-  // disjointness, all under eviction_mu_ + the shard locks.
+  // Queue accounting, index/slab agreement, and ghost/resident
+  // disjointness, under eviction_mu_ (buffered misses drained first).
   void CheckInvariants() override;
+
+  size_t ApproxMetadataBytes() const override;
 
  private:
   static constexpr uint8_t kMaxFreq = 3;
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
 
   enum class Where : uint8_t { kSmall, kMain };
+
+  // Slab slot. Only `freq` is touched by concurrent readers (the lock-free
+  // hit path); everything else is written solely under eviction_mu_.
   struct Node {
     ObjectId id = 0;
     std::atomic<uint8_t> freq{0};
-    Where where = Where::kSmall;  // guarded by eviction_mu_
+    Where where = Where::kSmall;
+    uint32_t next = kNil;  // intrusive FIFO / freelist link
   };
 
-  struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<ObjectId, Node*> index;
+  // Intrusive FIFO over slab slots.
+  struct Fifo {
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
+    size_t count = 0;
   };
 
-  Shard& ShardFor(ObjectId id);
+  void PushBack(Fifo& fifo, uint32_t slot);
+  uint32_t PopFront(Fifo& fifo);
+
   // All of the below run under eviction_mu_.
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t slot);
   void EvictSmall();
   void EvictMain();
   void MakeRoom();
-  void GhostInsert(ObjectId id);
-  bool GhostConsume(ObjectId id);
-  void IndexInsert(ObjectId id, Node* node);
-  void IndexErase(ObjectId id);
+  // Admits `id` unless already resident; returns true on (raced) hit.
+  bool MissLocked(ObjectId id);
+  void DrainLocked();
 
   const size_t capacity_;
   size_t small_capacity_;
   size_t ghost_capacity_;
 
-  std::mutex eviction_mu_;
-  // Owned nodes; queue structures hold raw pointers. Guarded by
-  // eviction_mu_; the hit path only dereferences nodes it found via a
-  // shard index under that shard's shared lock.
-  std::unordered_map<ObjectId, std::unique_ptr<Node>> owner_;
-  std::deque<Node*> small_fifo_;
-  std::deque<Node*> main_fifo_;
-  size_t small_count_ = 0;
-  size_t main_count_ = 0;
-  std::atomic<size_t> resident_{0};
+  StripedAtomicIndex index_;  // id -> slab slot
+  std::vector<Node> slab_;    // fixed node storage, one per resident object
 
-  // Ghost FIFO (metadata only), guarded by eviction_mu_.
-  std::deque<std::pair<ObjectId, uint64_t>> ghost_fifo_;
-  std::unordered_map<ObjectId, uint64_t> ghost_live_;
-  uint64_t ghost_generation_ = 0;
-
-  std::vector<std::unique_ptr<Shard>> shards_;
+  // Miss-path state, padded off the hit path's cache lines.
+  alignas(64) std::atomic<size_t> resident_{0};
+  alignas(64) std::mutex eviction_mu_;
+  Fifo small_fifo_;
+  Fifo main_fifo_;
+  uint32_t free_head_ = kNil;   // freelist of recycled slab slots
+  size_t slab_used_ = 0;        // bump allocator high-water mark
+  ShardedGhost ghost_;
+  InsertBuffers buffers_;
 };
 
 }  // namespace qdlp

@@ -19,6 +19,16 @@ GlobalLockLruCache::GlobalLockLruCache(size_t capacity) : capacity_(capacity) {
   index_.reserve(capacity);
 }
 
+size_t GlobalLockLruCache::ApproxMetadataBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // List node (prev/next + id) plus map node (chain pointer + key +
+  // iterator) plus the bucket array. Approximate by construction.
+  return mru_list_.size() * (2 * sizeof(void*) + sizeof(ObjectId)) +
+         index_.size() * (sizeof(void*) + sizeof(ObjectId) +
+                          sizeof(std::list<ObjectId>::iterator)) +
+         index_.bucket_count() * sizeof(void*);
+}
+
 bool GlobalLockLruCache::Get(ObjectId id) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(id);

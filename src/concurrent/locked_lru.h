@@ -23,9 +23,11 @@ class GlobalLockLruCache : public ConcurrentCache {
   // List/index agreement and capacity accounting under the global lock.
   void CheckInvariants() override;
 
+  size_t ApproxMetadataBytes() const override;
+
  private:
   const size_t capacity_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::list<ObjectId> mru_list_;
   std::unordered_map<ObjectId, std::list<ObjectId>::iterator> index_;
 };

@@ -1,0 +1,156 @@
+// Sharded ghost FIFO: metadata-only memory of recently evicted ids (§4).
+//
+// The live-id set is sharded across independently-locked FlatMaps so
+// membership lookups for different ids never contend; global FIFO age
+// order is kept in one generation-stamped ring that only the eviction-lock
+// holder touches. A re-inserted id simply gets a new generation — the old
+// ring entry goes stale and is skipped (not counted) when the trim loop
+// pops it, which reproduces exactly the "refresh on re-insert, evict
+// oldest" semantics of the sequential GhostQueue.
+//
+// Concurrency contract: Insert / Consume / trim are serialized by the
+// caller (the cache's eviction mutex) because they touch the shared order
+// ring; Contains and the invariant checks take only the shard locks and
+// may run concurrently with them.
+
+#ifndef QDLP_SRC_CONCURRENT_SHARDED_GHOST_H_
+#define QDLP_SRC_CONCURRENT_SHARDED_GHOST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/trace/trace.h"
+#include "src/util/check.h"
+#include "src/util/flat_map.h"
+
+namespace qdlp {
+
+class ShardedGhost {
+ public:
+  // A capacity of 0 is a valid degenerate ghost: remembers nothing.
+  explicit ShardedGhost(size_t capacity, size_t num_shards = 8)
+      : capacity_(capacity) {
+    QDLP_CHECK(num_shards >= 1);
+    shards_.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      auto shard = std::make_unique<Shard>();
+      shard->live.Reserve(capacity / num_shards + 1);
+      shards_.push_back(std::move(shard));
+    }
+  }
+
+  // Records an eviction; re-recording refreshes the id's age. Trims the
+  // oldest entries beyond capacity. Caller-serialized.
+  void Insert(ObjectId id) {
+    const uint64_t generation = ++generation_;
+    order_.emplace_back(id, generation);
+    {
+      Shard& shard = ShardFor(id);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto [slot, inserted] = shard.live.Emplace(id);
+      *slot = generation;
+      if (inserted) {
+        ++live_count_;
+      }
+    }
+    while (live_count_ > capacity_ && !order_.empty()) {
+      const auto [oldest_id, oldest_generation] = order_.front();
+      order_.pop_front();
+      Shard& shard = ShardFor(oldest_id);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const uint64_t* live_generation = shard.live.Find(oldest_id);
+      if (live_generation != nullptr &&
+          *live_generation == oldest_generation) {
+        shard.live.Erase(oldest_id);
+        --live_count_;
+      }
+    }
+  }
+
+  // Membership test + removal (each ghost hit is consumed, per Fig 4).
+  // Caller-serialized with Insert.
+  bool Consume(ObjectId id) {
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.live.Erase(id)) {
+      --live_count_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Contains(ObjectId id) const {
+    const Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.live.Contains(id);
+  }
+
+  size_t live_size() const { return live_count_; }
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+
+  // fn(ObjectId) over live entries, in no particular order. Takes the
+  // shard locks one at a time.
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->live.ForEach([&](ObjectId id, uint64_t generation) {
+        (void)generation;
+        fn(id);
+      });
+    }
+  }
+
+  void CheckInvariants() const {
+    QDLP_CHECK(live_count_ <= capacity_);
+    size_t live = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      live += shard->live.size();
+      shard->live.CheckInvariants();
+    }
+    QDLP_CHECK(live == live_count_);
+    // Every stale order entry is outnumbered: the ring never holds more
+    // than one live generation per id.
+    QDLP_CHECK(order_.size() >= live);
+  }
+
+  size_t ApproxMetadataBytes() const {
+    size_t bytes = order_.size() * sizeof(std::pair<ObjectId, uint64_t>);
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      bytes += shard->live.MemoryBytes();
+    }
+    return bytes;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    FlatMap<uint64_t> live;  // id -> newest generation
+  };
+
+  Shard& ShardFor(ObjectId id) {
+    return *shards_[(FlatMapHash(id) >> 32) % shards_.size()];
+  }
+  const Shard& ShardFor(ObjectId id) const {
+    return *shards_[(FlatMapHash(id) >> 32) % shards_.size()];
+  }
+
+  const size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Global age order; guarded by the caller's eviction mutex.
+  std::deque<std::pair<ObjectId, uint64_t>> order_;
+  uint64_t generation_ = 0;
+  size_t live_count_ = 0;
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_CONCURRENT_SHARDED_GHOST_H_

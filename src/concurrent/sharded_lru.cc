@@ -44,6 +44,23 @@ void ShardedLruCache::CheckInvariants() {
   QDLP_CHECK(total_capacity == capacity_);
 }
 
+size_t ShardedLruCache::ApproxMetadataBytes() const {
+  // std::list node: prev/next pointers + value; unordered_map node:
+  // bucket-chain pointer + key + iterator. Approximate, like the design
+  // they stand in for (pointer-chased memcached-style LRU).
+  size_t bytes = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    bytes += shard->mru_list.size() *
+             (2 * sizeof(void*) + sizeof(ObjectId));
+    bytes += shard->index.size() *
+             (sizeof(void*) + sizeof(ObjectId) +
+              sizeof(std::list<ObjectId>::iterator));
+    bytes += shard->index.bucket_count() * sizeof(void*);
+  }
+  return bytes;
+}
+
 ShardedLruCache::Shard& ShardedLruCache::ShardFor(ObjectId id) {
   return *shards_[SplitMix64(id) % shards_.size()];
 }

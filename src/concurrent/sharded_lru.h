@@ -26,6 +26,8 @@ class ShardedLruCache : public ConcurrentCache {
   // Per-shard list/index agreement and capacity accounting.
   void CheckInvariants() override;
 
+  size_t ApproxMetadataBytes() const override;
+
  private:
   struct Shard {
     std::mutex mu;

@@ -19,13 +19,17 @@ std::vector<SweepPoint> RunSweep(const std::vector<Trace>& traces,
 
   ThreadPool pool(config.num_threads);
   for (size_t t = 0; t < traces.size(); ++t) {
-    // One task per trace: coarse enough to amortize scheduling, fine enough
-    // to keep all cores busy for registry-sized runs.
-    pool.Submit([&, t] {
-      const Trace& trace = traces[t];
-      size_t slot = t * per_trace;
-      for (const double fraction : config.size_fractions) {
+    // One task per (trace, size fraction): a whole-trace task makes the
+    // longest trace times the whole fraction sweep the critical path, while
+    // per-(trace, fraction) tasks let the pool keep every core busy through
+    // the tail. Output slots are preassigned so ordering is identical to
+    // the sequential nesting (trace-major, then fraction, then policy).
+    for (size_t f = 0; f < config.size_fractions.size(); ++f) {
+      pool.Submit([&, t, f] {
+        const Trace& trace = traces[t];
+        const double fraction = config.size_fractions[f];
         const size_t cache_size = CacheSizeForFraction(trace, fraction);
+        size_t slot = t * per_trace + f * config.policies.size();
         for (const std::string& policy : config.policies) {
           const SimResult result = SimulatePolicy(policy, trace, cache_size);
           SweepPoint& point = points[slot++];
@@ -37,8 +41,8 @@ std::vector<SweepPoint> RunSweep(const std::vector<Trace>& traces,
           point.policy = policy;
           point.miss_ratio = result.miss_ratio();
         }
-      }
-    });
+      });
+    }
   }
   pool.Wait();
   return points;

@@ -158,5 +158,29 @@ TEST(ShardedLruTest, CapacityDistributedAcrossShards) {
   SUCCEED();
 }
 
+// Regression: per-shard capacity must never truncate to zero and the shard
+// capacities must sum to the requested total. With integer division alone,
+// capacity 10 over 16 shards gave every shard zero slots (nothing was ever
+// cacheable) and capacity 10 over 3 shards summed to 9.
+TEST(ShardedLruTest, CapacityNotTruncatedWithMoreShardsThanObjects) {
+  ShardedLruCache cache(10, 16);  // shards clamp to 10, one slot each
+  EXPECT_FALSE(cache.Get(42));
+  EXPECT_TRUE(cache.Get(42)) << "a just-admitted key must hit";
+  cache.CheckInvariants();  // asserts sum(shard capacities) == 10
+}
+
+TEST(ShardedLruTest, RemainderCapacityIsDistributed) {
+  // 7 over 3 shards: 3+2+2, not 2+2+2.
+  ShardedLruCache cache(7, 3);
+  cache.CheckInvariants();
+  for (ObjectId id = 0; id < 100; ++id) {
+    cache.Get(id);
+  }
+  cache.CheckInvariants();
+  // Sum of shard sizes can reach the full 7 under a spread key set.
+  ShardedLruCache one_each(5, 5);
+  one_each.CheckInvariants();
+}
+
 }  // namespace
 }  // namespace qdlp

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/concurrent/concurrent_clock.h"
+#include "src/concurrent/concurrent_qdlp_fifo.h"
 #include "src/concurrent/concurrent_s3fifo.h"
 #include "src/concurrent/locked_lru.h"
 #include "src/concurrent/sharded_lru.h"
@@ -162,6 +163,9 @@ TEST_P(ConcurrentDifferentialTest, MatchesOracleRequestForRequest) {
     cache = std::make_unique<ConcurrentClockCache>(cache_size, /*bits=*/1,
                                                    /*num_shards=*/4);
     model = std::make_unique<oracle::RefClock>(cache_size, /*bits=*/1);
+  } else if (cache_name == "concurrent-qdlp-fifo") {
+    cache = std::make_unique<ConcurrentQdLpFifo>(cache_size, /*num_stripes=*/4);
+    model = oracle::MakeExactOracle("qd-lp-fifo", cache_size);
   } else if (cache_name == "sharded-lru") {
     // One shard: sharded LRU degenerates to exact global LRU.
     cache = std::make_unique<ShardedLruCache>(cache_size, /*num_shards=*/1);
@@ -182,7 +186,8 @@ TEST_P(ConcurrentDifferentialTest, MatchesOracleRequestForRequest) {
 INSTANTIATE_TEST_SUITE_P(
     Zoo, ConcurrentDifferentialTest,
     ::testing::Combine(::testing::Values("concurrent-s3fifo",
-                                         "concurrent-clock", "sharded-lru",
+                                         "concurrent-clock",
+                                         "concurrent-qdlp-fifo", "sharded-lru",
                                          "global-lock-lru"),
                        ::testing::ValuesIn(kShapes),
                        ::testing::ValuesIn(kCacheSizes)),

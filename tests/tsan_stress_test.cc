@@ -18,9 +18,12 @@
 
 #include "src/concurrent/concurrent_cache.h"
 #include "src/concurrent/concurrent_clock.h"
+#include "src/concurrent/concurrent_qdlp_fifo.h"
 #include "src/concurrent/concurrent_s3fifo.h"
 #include "src/concurrent/locked_lru.h"
+#include "src/concurrent/mpsc_ring.h"
 #include "src/concurrent/sharded_lru.h"
+#include "src/concurrent/striped_index.h"
 #include "src/util/random.h"
 
 namespace qdlp {
@@ -91,6 +94,74 @@ TEST(TsanStressTest, ConcurrentS3Fifo) {
   ConcurrentS3FifoCache cache(512, /*small_fraction=*/0.10,
                               /*ghost_factor=*/0.9, /*num_shards=*/8);
   HammerFromManyThreads(cache);
+}
+
+TEST(TsanStressTest, ConcurrentQdLpFifo) {
+  ConcurrentQdLpFifo cache(512, /*num_stripes=*/8);
+  HammerFromManyThreads(cache);
+}
+
+// The lock-free index alone: one serialized writer churns insert/erase
+// while lock-free readers probe — TSan checks the seqlock + release/acquire
+// slot protocol directly, without a cache on top.
+TEST(TsanStressTest, StripedIndexReadersVsWriter) {
+  StripedAtomicIndex index(/*max_entries=*/1024, /*num_stripes=*/8);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads - 1; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(0x51ab0000u + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        uint32_t value;
+        index.Find(rng.NextBounded(kUniverse), &value);
+      }
+    });
+  }
+  Rng rng(0x51ab1111u);
+  std::vector<bool> present(kUniverse, false);
+  for (int step = 0; step < 150000; ++step) {
+    const ObjectId id = rng.NextBounded(kUniverse);
+    if (present[id]) {
+      index.Erase(id);
+      present[id] = false;
+    } else {
+      index.Insert(id, static_cast<uint32_t>(id));
+      present[id] = true;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : readers) {
+    thread.join();
+  }
+  index.CheckInvariants();
+}
+
+// The miss-path buffers alone: concurrent producers vs one consumer.
+TEST(TsanStressTest, MpscRingProducersVsConsumer) {
+  MpscRing ring(64);
+  std::atomic<int> done{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      Rng rng(0x3156c000u + static_cast<uint64_t>(t));
+      for (int i = 0; i < 50000; ++i) {
+        ring.TryPush(rng.NextBounded(kUniverse));
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  uint64_t value;
+  uint64_t popped = 0;
+  while (done.load(std::memory_order_acquire) < kThreads ||
+         ring.TryPop(&value)) {
+    if (ring.TryPop(&value)) {
+      ++popped;
+    }
+  }
+  for (auto& thread : producers) {
+    thread.join();
+  }
+  EXPECT_GT(popped, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and fail on throughput regression.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+
+Both files must be schema_version 1 outputs of the bench binaries (see
+bench/bench_json.h). Results are keyed by the full benchmark name (which
+encodes policy, args, and thread count). For every benchmark present in
+BOTH files, the candidate's ops_per_sec must not fall more than
+--threshold (default 15%) below the baseline's. Benchmarks present in only
+one file are reported but never fail the run — adding or retiring a
+benchmark family is not a regression.
+
+Exit status: 0 = no regression, 1 = at least one regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    """Returns {benchmark_name: result_dict} from a bench JSON file."""
+    def bad_input(message):
+        print(f"error: {message}", file=sys.stderr)
+        raise SystemExit(2)
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        bad_input(f"cannot read {path}: {err}")
+    if doc.get("schema_version") != 1:
+        bad_input(f"{path}: unsupported schema_version "
+                  f"{doc.get('schema_version')!r} (expected 1)")
+    results = {}
+    for row in doc.get("results", []):
+        name = row.get("benchmark")
+        if not name or not isinstance(row.get("ops_per_sec"), (int, float)):
+            bad_input(f"{path}: malformed result row: {row!r}")
+        results[name] = row
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json files; fail on ops/s regression.")
+    parser.add_argument("baseline", help="baseline BENCH JSON")
+    parser.add_argument("candidate", help="candidate BENCH JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="max tolerated fractional ops/s drop (default 0.15 = 15%%)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error("--threshold must be in [0, 1)")
+
+    baseline = load_results(args.baseline)
+    candidate = load_results(args.candidate)
+
+    common = sorted(set(baseline) & set(candidate))
+    only_base = sorted(set(baseline) - set(candidate))
+    only_cand = sorted(set(candidate) - set(baseline))
+    if not common:
+        print("error: no benchmarks in common between "
+              f"{args.baseline} and {args.candidate}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(name) for name in common)
+    print(f"{'benchmark':<{width}}  {'baseline':>14}  {'candidate':>14}  "
+          f"{'delta':>8}")
+    for name in common:
+        base_ops = float(baseline[name]["ops_per_sec"])
+        cand_ops = float(candidate[name]["ops_per_sec"])
+        if base_ops <= 0.0:
+            delta_str, regressed = "n/a", False
+        else:
+            delta = cand_ops / base_ops - 1.0
+            delta_str = f"{delta:+8.1%}"
+            regressed = delta < -args.threshold
+        flag = "  << REGRESSION" if regressed else ""
+        print(f"{name:<{width}}  {base_ops:>14,.0f}  {cand_ops:>14,.0f}  "
+              f"{delta_str}{flag}")
+        if regressed:
+            regressions.append(name)
+
+    for name in only_base:
+        print(f"note: {name} only in baseline (removed?)")
+    for name in only_cand:
+        print(f"note: {name} only in candidate (new)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name in regressions:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(common)} benchmark(s) within {args.threshold:.0%} of "
+          "baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
