@@ -1,0 +1,140 @@
+// Sweep engine throughput: batched single-pass replay vs per-cell replay.
+//
+// Runs the same Fig-2-scale grid — the paper's core LP/QD comparison set
+// over the generated registry at two cache sizes — through both RunSweep
+// engines, verifies the outputs are bit-identical, and reports wall-clock
+// throughput for each. Output is BENCH_sweep.json (QDLP_BENCH_JSON
+// overrides; schema in docs/TESTING.md):
+//
+//   sweep/per_cell — replayed requests/s, one full trace pass per cell
+//   sweep/batched  — replayed requests/s, one dense pass drives all cells
+//   sweep/speedup  — batched / per_cell ratio in ops_per_sec. Unlike the
+//                    absolute rows this is machine-independent, so CI gates
+//                    it with a hard floor (tools/bench_compare.py
+//                    --require).
+//
+// The policy set is the dense-capable Fig-2/Fig-5 core (LP variants,
+// SIEVE/S3-FIFO, QD-LP-FIFO): the grid the batching work targets. Adaptive
+// policies (ARC/LIRS/LHD/...) spend their time in policy logic rather than
+// stream + index traffic and would only dilute what this bench measures;
+// their batched-vs-per-cell equivalence is covered by tests, not timed
+// here.
+//
+// Scale knobs: QDLP_SCALE (registry size multiplier), QDLP_THREADS.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/bench_json.h"
+#include "src/sim/sweep.h"
+#include "src/util/env.h"
+
+namespace qdlp {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+int Run() {
+  const auto traces = LoadRegistry(0.25);
+
+  SweepConfig config;
+  config.policies = {"lru",    "fifo",  "fifo-reinsertion", "clock2",
+                     "clock3", "sieve", "s3fifo",           "qd-lp-fifo"};
+  config.size_fractions = {0.001, 0.10};
+  config.num_threads = SweepThreads();
+
+  // Work per engine: every cell replays its whole trace once.
+  size_t total_requests = 0;
+  for (const auto& trace : traces) {
+    total_requests += trace.requests.size();
+  }
+  const double replayed = static_cast<double>(total_requests) *
+                          static_cast<double>(config.policies.size()) *
+                          static_cast<double>(config.size_fractions.size());
+
+  std::fprintf(stderr, "[qdlp] per-cell engine...\n");
+  config.engine = SweepEngine::kPerCell;
+  const auto per_cell_start = std::chrono::steady_clock::now();
+  const auto per_cell_points = RunSweep(traces, config);
+  const double per_cell_seconds = SecondsSince(per_cell_start);
+
+  std::fprintf(stderr, "[qdlp] batched engine...\n");
+  config.engine = SweepEngine::kBatched;
+  const auto batched_start = std::chrono::steady_clock::now();
+  const auto batched_points = RunSweep(traces, config);
+  const double batched_seconds = SecondsSince(batched_start);
+
+  // The speedup is only meaningful if both engines did the same work; the
+  // equivalence is pinned in detail by tests, but re-check here so a bad
+  // bench run can never publish a number for a divergent computation.
+  if (batched_points.size() != per_cell_points.size()) {
+    std::fprintf(stderr, "[qdlp] FAIL: engines disagree on grid size\n");
+    return 1;
+  }
+  for (size_t i = 0; i < batched_points.size(); ++i) {
+    if (batched_points[i].miss_ratio != per_cell_points[i].miss_ratio ||
+        batched_points[i].policy != per_cell_points[i].policy ||
+        batched_points[i].trace != per_cell_points[i].trace) {
+      std::fprintf(stderr,
+                   "[qdlp] FAIL: engines diverge at point %zu (%s, %s): "
+                   "%.17g vs %.17g\n",
+                   i, batched_points[i].trace.c_str(),
+                   batched_points[i].policy.c_str(),
+                   batched_points[i].miss_ratio, per_cell_points[i].miss_ratio);
+      return 1;
+    }
+  }
+
+  const double per_cell_ops = replayed / per_cell_seconds;
+  const double batched_ops = replayed / batched_seconds;
+  const double speedup = per_cell_seconds / batched_seconds;
+  std::printf(
+      "sweep grid: %zu traces x %zu policies x %zu sizes, %.0f replayed "
+      "requests per engine\n",
+      traces.size(), config.policies.size(), config.size_fractions.size(),
+      replayed);
+  std::printf("per-cell: %8.2f s  (%12.0f req/s)\n", per_cell_seconds,
+              per_cell_ops);
+  std::printf("batched:  %8.2f s  (%12.0f req/s)\n", batched_seconds,
+              batched_ops);
+  std::printf("speedup:  %8.2fx\n", speedup);
+
+  std::vector<BenchJsonResult> results;
+  BenchJsonResult per_cell_row;
+  per_cell_row.benchmark = "sweep/per_cell";
+  per_cell_row.policy = "sweep";
+  per_cell_row.threads = static_cast<int64_t>(config.num_threads);
+  per_cell_row.ops_per_sec = per_cell_ops;
+  results.push_back(per_cell_row);
+  BenchJsonResult batched_row;
+  batched_row.benchmark = "sweep/batched";
+  batched_row.policy = "sweep";
+  batched_row.threads = static_cast<int64_t>(config.num_threads);
+  batched_row.ops_per_sec = batched_ops;
+  results.push_back(batched_row);
+  BenchJsonResult speedup_row;
+  speedup_row.benchmark = "sweep/speedup";
+  speedup_row.policy = "sweep";
+  speedup_row.threads = static_cast<int64_t>(config.num_threads);
+  speedup_row.ops_per_sec = speedup;  // ratio, machine-independent
+  results.push_back(speedup_row);
+
+  const std::string path = GetEnvString("QDLP_BENCH_JSON", "BENCH_sweep.json");
+  if (!WriteBenchJson(path, "sweep_throughput", results)) {
+    return 1;
+  }
+  std::fprintf(stderr, "[qdlp] wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace qdlp
+
+int main() { return qdlp::Run(); }

@@ -2,44 +2,8 @@
 
 namespace qdlp {
 
-void GhostQueue::Insert(ObjectId id) {
-  if (capacity_ == 0) {
-    return;
-  }
-  uint32_t* slot = live_.Find(id);
-  if (slot != nullptr) {
-    fifo_.MoveToBack(*slot);  // refresh: re-recorded ids age from now
-    return;
-  }
-  while (live_.size() >= capacity_) {
-    const uint32_t oldest_slot = fifo_.front();
-    const ObjectId oldest = fifo_[oldest_slot];
-    fifo_.Erase(oldest_slot);
-    live_.Erase(oldest);
-  }
-  live_[id] = fifo_.PushBack(id);
-}
-
-bool GhostQueue::Consume(ObjectId id) {
-  const uint32_t* slot = live_.Find(id);
-  if (slot == nullptr) {
-    return false;
-  }
-  fifo_.Erase(*slot);
-  live_.Erase(id);
-  return true;
-}
-
-void GhostQueue::CheckInvariants() const {
-  QDLP_CHECK(live_.size() <= capacity_);
-  QDLP_CHECK(fifo_.size() == live_.size());
-  fifo_.ForEach([&](uint32_t slot, ObjectId id) {
-    const uint32_t* indexed = live_.Find(id);
-    QDLP_CHECK(indexed != nullptr);
-    QDLP_CHECK(*indexed == slot);
-  });
-  fifo_.CheckInvariants();
-  live_.CheckInvariants();
-}
+// Compile both index backings once here rather than in every TU.
+template class BasicGhostQueue<FlatIndexFactory>;
+template class BasicGhostQueue<DenseIndexFactory>;
 
 }  // namespace qdlp

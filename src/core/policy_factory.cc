@@ -121,6 +121,49 @@ std::unique_ptr<EvictionPolicy> MakeBase(const std::string& name,
   return nullptr;
 }
 
+// Probation/main split for a QD composition. Shared by the flat and dense
+// builders so the two variants are behaviorally identical.
+size_t QdProbationCapacity(size_t total_capacity, double probation_fraction) {
+  size_t probation = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(static_cast<double>(total_capacity) *
+                                          probation_fraction)));
+  return std::min(probation, total_capacity - 1);
+}
+
+// Dense variants exist only for policies whose decisions depend on ids
+// solely through index lookups and queue order — never on the id's value,
+// hash, or hash-table iteration order — so a bijective remap to dense ids
+// cannot change any eviction decision. Policies that sample the index
+// (random, lhd, hyperbolic, ...) or hash ids into sketches (wtinylfu) are
+// excluded even where a dense index would mechanically work.
+std::unique_ptr<EvictionPolicy> MakeDenseBase(const std::string& name,
+                                              size_t capacity,
+                                              uint64_t universe) {
+  const DenseIndexFactory factory{universe};
+  if (name == "fifo") {
+    return std::make_unique<DenseFifoPolicy>(capacity, factory);
+  }
+  if (name == "lru") {
+    return std::make_unique<DenseLruPolicy>(capacity, factory);
+  }
+  if (name == "fifo-reinsertion" || name == "clock" || name == "clock1") {
+    return std::make_unique<DenseClockPolicy>(capacity, 1, factory);
+  }
+  if (name == "clock2") {
+    return std::make_unique<DenseClockPolicy>(capacity, 2, factory);
+  }
+  if (name == "clock3") {
+    return std::make_unique<DenseClockPolicy>(capacity, 3, factory);
+  }
+  if (name == "sieve") {
+    return std::make_unique<DenseSievePolicy>(capacity, factory);
+  }
+  if (name == "s3fifo") {
+    return std::make_unique<DenseS3FifoPolicy>(capacity, 0.10, 0.9, factory);
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 std::unique_ptr<EvictionPolicy> MakeQdPolicy(const std::string& base_name,
@@ -134,16 +177,44 @@ std::unique_ptr<EvictionPolicy> MakeQdPolicy(const std::string& base_name,
     // next-use bookkeeping would desynchronize from the request stream.
     return nullptr;
   }
-  size_t probation = std::max<size_t>(
-      1, static_cast<size_t>(std::llround(static_cast<double>(total_capacity) *
-                                          options.probation_fraction)));
-  probation = std::min(probation, total_capacity - 1);
+  const size_t probation =
+      QdProbationCapacity(total_capacity, options.probation_fraction);
   const size_t main_capacity = total_capacity - probation;
   auto main = MakeBase(base_name, main_capacity, trace);
   if (main == nullptr) {
     return nullptr;
   }
   return std::make_unique<QdCache>(probation, std::move(main), options);
+}
+
+bool HasDenseVariant(const std::string& name) {
+  static const char* const kDense[] = {
+      "fifo",   "lru",    "fifo-reinsertion", "clock",  "clock1",
+      "clock2", "clock3", "sieve",            "s3fifo", "qd-lp-fifo",
+  };
+  for (const char* dense_name : kDense) {
+    if (name == dense_name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<EvictionPolicy> MakeDensePolicy(const std::string& name,
+                                                size_t capacity,
+                                                uint64_t universe) {
+  if (name == "qd-lp-fifo") {
+    QDLP_CHECK(capacity >= 2);
+    QdOptions options;
+    options.name = "qd-lp-fifo";
+    const size_t probation =
+        QdProbationCapacity(capacity, options.probation_fraction);
+    auto main = MakeDenseBase("clock2", capacity - probation, universe);
+    QDLP_DCHECK(main != nullptr);
+    return std::make_unique<DenseQdCache>(probation, std::move(main), options,
+                                          DenseIndexFactory{universe});
+  }
+  return MakeDenseBase(name, capacity, universe);
 }
 
 std::unique_ptr<EvictionPolicy> MakePolicy(const std::string& name,

@@ -37,6 +37,22 @@ std::unique_ptr<EvictionPolicy> MakeQdPolicy(
     const QdOptions& options = {},
     const std::vector<ObjectId>* trace = nullptr);
 
+// True if `name` has a dense-index variant (MakeDensePolicy accepts it) AND
+// its eviction decisions are invariant under a bijective id remap, so
+// feeding it dense ids yields bit-identical miss ratios. The batched sweep
+// engine uses this to pick the fast path per cell.
+bool HasDenseVariant(const std::string& name);
+
+// Builds the dense-index variant of `name`: identical eviction logic, but
+// every id index is a direct-indexed slot array over [0, universe) instead
+// of an open-addressing hash map. Ids fed to the returned policy must be
+// dense (see trace/dense_trace.h). Returns nullptr for names without a
+// dense variant. QD compositions use the exact same probation/main/ghost
+// split as MakePolicy, so miss ratios match the flat variant bit for bit.
+std::unique_ptr<EvictionPolicy> MakeDensePolicy(const std::string& name,
+                                                size_t capacity,
+                                                uint64_t universe);
+
 // All names MakePolicy accepts (Belady included), for docs/tests/sweeps.
 std::vector<std::string> KnownPolicyNames();
 

@@ -1,119 +1,9 @@
 #include "src/core/qd_cache.h"
 
-#include <cmath>
-
 namespace qdlp {
 
-namespace {
-
-// Forwards main-cache evictions to the wrapper's listener so that residency
-// accounting spans the whole composed cache. Inserts are ignored: the
-// wrapper reports an object's insertion when it first takes cache space
-// (probation entry or ghost-path admission), and a promotion from probation
-// into main is not a new insertion.
-class MainEvictionForwarder : public EvictionListener {
- public:
-  using Callback = std::function<void(ObjectId)>;
-  explicit MainEvictionForwarder(Callback on_evict)
-      : on_evict_(std::move(on_evict)) {}
-
-  void OnInsert(ObjectId, uint64_t) override {}
-  void OnEvict(ObjectId id, uint64_t) override { on_evict_(id); }
-
- private:
-  Callback on_evict_;
-};
-
-}  // namespace
-
-QdCache::QdCache(size_t probation_capacity,
-                 std::unique_ptr<EvictionPolicy> main, const QdOptions& options)
-    : EvictionPolicy(probation_capacity + main->capacity(),
-                     options.name.empty() ? "qd-" + main->name() : options.name),
-      probation_capacity_(probation_capacity),
-      main_(std::move(main)),
-      ghost_(std::max<size_t>(
-          1, static_cast<size_t>(std::llround(
-                 static_cast<double>(main_->capacity()) * options.ghost_factor)))) {
-  QDLP_CHECK(probation_capacity_ >= 1);
-  probation_fifo_.Reserve(probation_capacity_);
-  probation_index_.Reserve(probation_capacity_);
-  main_forwarder_ = std::make_unique<MainEvictionForwarder>(
-      [this](ObjectId id) { NotifyEvict(id); });
-  main_->set_eviction_listener(main_forwarder_.get());
-}
-
-void QdCache::CheckInvariants() const {
-  QDLP_CHECK(probation_index_.size() <= probation_capacity_);
-  QDLP_CHECK(probation_fifo_.size() == probation_index_.size());
-  QDLP_CHECK(main_->size() <= main_->capacity());
-  QDLP_CHECK(size() <= capacity());
-  probation_fifo_.ForEach([&](uint32_t slot, ObjectId id) {
-    const ProbationEntry* entry = probation_index_.Find(id);
-    QDLP_CHECK(entry != nullptr);
-    QDLP_CHECK(entry->slot == slot);
-    // An object holds space in exactly one region.
-    QDLP_CHECK(!main_->Contains(id));
-    QDLP_CHECK(!ghost_.Contains(id));
-  });
-  // Ghost entries are history, never resident (in either region).
-  ghost_.ForEachLive([&](ObjectId id) {
-    QDLP_CHECK(!probation_index_.Contains(id));
-    QDLP_CHECK(!main_->Contains(id));
-  });
-  probation_fifo_.CheckInvariants();
-  probation_index_.CheckInvariants();
-  ghost_.CheckInvariants();
-  main_->CheckInvariants();
-}
-
-void QdCache::EvictFromProbation() {
-  QDLP_DCHECK(!probation_fifo_.empty());
-  const uint32_t victim_slot = probation_fifo_.front();
-  const ObjectId victim = probation_fifo_[victim_slot];
-  probation_fifo_.Erase(victim_slot);
-  const ProbationEntry* entry = probation_index_.Find(victim);
-  QDLP_DCHECK(entry != nullptr);
-  const bool accessed = entry->accessed;
-  probation_index_.Erase(victim);
-  if (accessed) {
-    // Lazy promotion: re-accessed while on probation -> main cache.
-    ++promotions_;
-    main_->Access(victim);
-  } else {
-    // Quick demotion: one lap through the small FIFO was its only chance.
-    ++quick_demotions_;
-    ghost_.Insert(victim);
-    NotifyEvict(victim);
-  }
-}
-
-void QdCache::AdmitToProbation(ObjectId id) {
-  while (probation_index_.size() >= probation_capacity_) {
-    EvictFromProbation();
-  }
-  const uint32_t slot = probation_fifo_.PushBack(id);
-  probation_index_[id] = ProbationEntry{slot, false};
-  NotifyInsert(id);
-}
-
-bool QdCache::OnAccess(ObjectId id) {
-  ProbationEntry* probation_entry = probation_index_.Find(id);
-  if (probation_entry != nullptr) {
-    probation_entry->accessed = true;  // single metadata bit; no reordering
-    return true;
-  }
-  if (main_->Contains(id)) {
-    return main_->Access(id);
-  }
-  if (ghost_.Consume(id)) {
-    ++ghost_admissions_;
-    main_->Access(id);
-    NotifyInsert(id);
-    return false;
-  }
-  AdmitToProbation(id);
-  return false;
-}
+// Compile both index backings once here rather than in every TU.
+template class BasicQdCache<FlatIndexFactory>;
+template class BasicQdCache<DenseIndexFactory>;
 
 }  // namespace qdlp

@@ -15,16 +15,23 @@
 // Hits anywhere only set a bit (probation) or forward to the main policy.
 // Composing this over ARC/LIRS/CACHEUS/LeCaR/LHD yields the paper's
 // QD-enhanced algorithms; composing it over 2-bit CLOCK yields QD-LP-FIFO.
+//
+// The probation/ghost index backing is a template parameter: QdCache probes
+// open-addressing FlatMaps, DenseQdCache (batched sweep engine, dense
+// traces, composed over a dense main policy) direct-indexed slot arrays.
 
 #ifndef QDLP_SRC_CORE_QD_CACHE_H_
 #define QDLP_SRC_CORE_QD_CACHE_H_
 
+#include <cmath>
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "src/core/ghost_queue.h"
 #include "src/policies/eviction_policy.h"
-#include "src/util/flat_map.h"
+#include "src/util/dense_index.h"
 #include "src/util/intrusive_list.h"
 
 namespace qdlp {
@@ -38,23 +45,74 @@ struct QdOptions {
   std::string name;
 };
 
-class QdCache : public EvictionPolicy {
+namespace internal {
+
+// Forwards main-cache evictions to the wrapper's listener so that residency
+// accounting spans the whole composed cache. Inserts are ignored: the
+// wrapper reports an object's insertion when it first takes cache space
+// (probation entry or ghost-path admission), and a promotion from probation
+// into main is not a new insertion.
+class MainEvictionForwarder : public EvictionListener {
+ public:
+  using Callback = std::function<void(ObjectId)>;
+  explicit MainEvictionForwarder(Callback on_evict)
+      : on_evict_(std::move(on_evict)) {}
+
+  void OnInsert(ObjectId, uint64_t) override {}
+  void OnEvict(ObjectId id, uint64_t) override { on_evict_(id); }
+
+ private:
+  Callback on_evict_;
+};
+
+}  // namespace internal
+
+template <typename IndexFactory>
+class BasicQdCache : public EvictionPolicy {
  public:
   // `main` must have capacity equal to the intended main-cache size; the
   // total capacity reported by this wrapper is probation + main. Use
-  // MakeQdCache (policy_factory.h) to build one by name with a total budget.
-  QdCache(size_t probation_capacity, std::unique_ptr<EvictionPolicy> main,
-          const QdOptions& options = {});
+  // MakeQdPolicy (policy_factory.h) to build one by name with a total
+  // budget.
+  BasicQdCache(size_t probation_capacity, std::unique_ptr<EvictionPolicy> main,
+               const QdOptions& options = {}, IndexFactory factory = {})
+      : EvictionPolicy(
+            probation_capacity + main->capacity(),
+            options.name.empty() ? "qd-" + main->name() : options.name),
+        probation_capacity_(probation_capacity),
+        main_(std::move(main)),
+        ghost_(std::max<size_t>(
+                   1, static_cast<size_t>(std::llround(
+                          static_cast<double>(main_->capacity()) *
+                          options.ghost_factor))),
+               factory),
+        probation_index_(factory.template Make<ProbationEntry>()) {
+    QDLP_CHECK(probation_capacity_ >= 1);
+    probation_fifo_.Reserve(probation_capacity_);
+    probation_index_.Reserve(probation_capacity_);
+    main_forwarder_ = std::make_unique<internal::MainEvictionForwarder>(
+        [this](ObjectId id) { NotifyEvict(id); });
+    main_->set_eviction_listener(main_forwarder_.get());
+  }
 
-  size_t size() const override { return probation_index_.size() + main_->size(); }
+  size_t size() const override {
+    return probation_index_.size() + main_->size();
+  }
   bool Contains(ObjectId id) const override {
     return probation_index_.Contains(id) || main_->Contains(id);
+  }
+
+  uint64_t AccessBatch(const uint32_t* ids, size_t n) override {
+    // The probation index is the first probe of every access; the main
+    // policy's own index is probed only after a probation miss, so its
+    // latency is already partly hidden behind that first probe.
+    return PrefetchPipelinedBatch(*this, probation_index_, ids, n);
   }
 
   size_t probation_size() const { return probation_index_.size(); }
   size_t probation_capacity() const { return probation_capacity_; }
   const EvictionPolicy& main() const { return *main_; }
-  const GhostQueue& ghost() const { return ghost_; }
+  const BasicGhostQueue<IndexFactory>& ghost() const { return ghost_; }
 
   // Counters for analysis/ablation.
   uint64_t promotions() const { return promotions_; }
@@ -64,7 +122,29 @@ class QdCache : public EvictionPolicy {
   // Probation FIFO/index consistency, probation/main/ghost disjointness,
   // and capacity accounting for all three regions. Recurses into the main
   // policy's own CheckInvariants().
-  void CheckInvariants() const override;
+  void CheckInvariants() const override {
+    QDLP_CHECK(probation_index_.size() <= probation_capacity_);
+    QDLP_CHECK(probation_fifo_.size() == probation_index_.size());
+    QDLP_CHECK(main_->size() <= main_->capacity());
+    QDLP_CHECK(size() <= capacity());
+    probation_fifo_.ForEach([&](uint32_t slot, ObjectId id) {
+      const ProbationEntry* entry = probation_index_.Find(id);
+      QDLP_CHECK(entry != nullptr);
+      QDLP_CHECK(entry->slot == slot);
+      // An object holds space in exactly one region.
+      QDLP_CHECK(!main_->Contains(id));
+      QDLP_CHECK(!ghost_.Contains(id));
+    });
+    // Ghost entries are history, never resident (in either region).
+    ghost_.ForEachLive([&](ObjectId id) {
+      QDLP_CHECK(!probation_index_.Contains(id));
+      QDLP_CHECK(!main_->Contains(id));
+    });
+    probation_fifo_.CheckInvariants();
+    probation_index_.CheckInvariants();
+    ghost_.CheckInvariants();
+    main_->CheckInvariants();
+  }
 
   size_t ApproxMetadataBytes() const override {
     return probation_fifo_.MemoryBytes() + probation_index_.MemoryBytes() +
@@ -72,32 +152,82 @@ class QdCache : public EvictionPolicy {
   }
 
  protected:
-  bool OnAccess(ObjectId id) override;
+  bool OnAccess(ObjectId id) override {
+    ProbationEntry* probation_entry = probation_index_.Find(id);
+    if (probation_entry != nullptr) {
+      probation_entry->accessed = true;  // single metadata bit; no reordering
+      return true;
+    }
+    if (main_->Contains(id)) {
+      return main_->Access(id);
+    }
+    if (ghost_.Consume(id)) {
+      ++ghost_admissions_;
+      main_->Access(id);
+      NotifyInsert(id);
+      return false;
+    }
+    AdmitToProbation(id);
+    return false;
+  }
 
  private:
-  // Pushes `id` into the probationary FIFO, making room first.
-  void AdmitToProbation(ObjectId id);
-  // Evicts the oldest probationary object, promoting or ghosting it.
-  void EvictFromProbation();
-
-  size_t probation_capacity_;
-  std::unique_ptr<EvictionPolicy> main_;
-  GhostQueue ghost_;
-  // Forwards main-cache evictions into this wrapper's listener.
-  std::unique_ptr<EvictionListener> main_forwarder_;
-
   struct ProbationEntry {
     uint32_t slot = 0;      // slot in probation_fifo_
     bool accessed = false;  // re-accessed while on probation
   };
 
+  // Pushes `id` into the probationary FIFO, making room first.
+  void AdmitToProbation(ObjectId id) {
+    while (probation_index_.size() >= probation_capacity_) {
+      EvictFromProbation();
+    }
+    const uint32_t slot = probation_fifo_.PushBack(id);
+    probation_index_[id] = ProbationEntry{slot, false};
+    NotifyInsert(id);
+  }
+
+  // Evicts the oldest probationary object, promoting or ghosting it.
+  void EvictFromProbation() {
+    QDLP_DCHECK(!probation_fifo_.empty());
+    const uint32_t victim_slot = probation_fifo_.front();
+    const ObjectId victim = probation_fifo_[victim_slot];
+    probation_fifo_.Erase(victim_slot);
+    const ProbationEntry* entry = probation_index_.Find(victim);
+    QDLP_DCHECK(entry != nullptr);
+    const bool accessed = entry->accessed;
+    probation_index_.Erase(victim);
+    if (accessed) {
+      // Lazy promotion: re-accessed while on probation -> main cache.
+      ++promotions_;
+      main_->Access(victim);
+    } else {
+      // Quick demotion: one lap through the small FIFO was its only chance.
+      ++quick_demotions_;
+      ghost_.Insert(victim);
+      NotifyEvict(victim);
+    }
+  }
+
+  size_t probation_capacity_;
+  std::unique_ptr<EvictionPolicy> main_;
+  BasicGhostQueue<IndexFactory> ghost_;
+  // Forwards main-cache evictions into this wrapper's listener.
+  std::unique_ptr<EvictionListener> main_forwarder_;
+
   IntrusiveList<ObjectId> probation_fifo_;  // front = oldest
-  FlatMap<ProbationEntry> probation_index_;
+  typename IndexFactory::template Index<ProbationEntry> probation_index_;
 
   uint64_t promotions_ = 0;
   uint64_t quick_demotions_ = 0;
   uint64_t ghost_admissions_ = 0;
 };
+
+using QdCache = BasicQdCache<FlatIndexFactory>;
+using DenseQdCache = BasicQdCache<DenseIndexFactory>;
+
+extern template class BasicQdCache<FlatIndexFactory>;
+extern template class BasicQdCache<DenseIndexFactory>;
 
 }  // namespace qdlp
 

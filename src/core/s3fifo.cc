@@ -1,126 +1,9 @@
 #include "src/core/s3fifo.h"
 
-#include <algorithm>
-#include <cmath>
-
 namespace qdlp {
 
-S3FifoPolicy::S3FifoPolicy(size_t capacity, double small_fraction,
-                           double ghost_factor)
-    : EvictionPolicy(capacity, "s3fifo"),
-      small_capacity_(std::max<size_t>(
-          1, static_cast<size_t>(std::llround(static_cast<double>(capacity) *
-                                              small_fraction)))),
-      ghost_(std::max<size_t>(
-          1, static_cast<size_t>(std::llround(static_cast<double>(capacity) *
-                                              ghost_factor)))) {
-  QDLP_CHECK(small_fraction > 0.0 && small_fraction < 1.0);
-  small_capacity_ = std::min(small_capacity_, capacity);
-  index_.Reserve(capacity);
-  small_fifo_.Reserve(small_capacity_);
-  main_fifo_.Reserve(capacity);
-}
-
-void S3FifoPolicy::CheckInvariants() const {
-  QDLP_CHECK(index_.size() <= capacity());
-  QDLP_CHECK(small_fifo_.size() + main_fifo_.size() == index_.size());
-  small_fifo_.ForEach([&](uint32_t slot, ObjectId id) {
-    const Entry* entry = index_.Find(id);
-    QDLP_CHECK(entry != nullptr);
-    QDLP_CHECK(entry->where == Where::kSmall);
-    QDLP_CHECK(entry->slot == slot);
-  });
-  main_fifo_.ForEach([&](uint32_t slot, ObjectId id) {
-    const Entry* entry = index_.Find(id);
-    QDLP_CHECK(entry != nullptr);
-    QDLP_CHECK(entry->where == Where::kMain);
-    QDLP_CHECK(entry->slot == slot);
-  });
-  // Ghost entries are ids that were evicted; none may still be resident.
-  ghost_.ForEachLive(
-      [&](ObjectId id) { QDLP_CHECK(!index_.Contains(id)); });
-  ghost_.CheckInvariants();
-  small_fifo_.CheckInvariants();
-  main_fifo_.CheckInvariants();
-  index_.CheckInvariants();
-}
-
-void S3FifoPolicy::InsertSmall(ObjectId id) {
-  const uint32_t slot = small_fifo_.PushBack(id);
-  index_[id] = Entry{slot, Where::kSmall, 0};
-  NotifyInsert(id);
-}
-
-void S3FifoPolicy::InsertMain(ObjectId id) {
-  const uint32_t slot = main_fifo_.PushBack(id);
-  index_[id] = Entry{slot, Where::kMain, 0};
-  NotifyInsert(id);
-}
-
-void S3FifoPolicy::EvictSmall() {
-  QDLP_DCHECK(!small_fifo_.empty());
-  const uint32_t victim_slot = small_fifo_.front();
-  const ObjectId victim = small_fifo_[victim_slot];
-  small_fifo_.Erase(victim_slot);
-  Entry* entry = index_.Find(victim);
-  QDLP_DCHECK(entry != nullptr && entry->where == Where::kSmall);
-  if (entry->freq >= 1) {
-    // Re-accessed while on probation: promote into the main FIFO. This does
-    // not free space; the caller keeps evicting until space appears.
-    entry->slot = main_fifo_.PushBack(victim);
-    entry->where = Where::kMain;
-    entry->freq = 0;
-  } else {
-    index_.Erase(victim);
-    ghost_.Insert(victim);
-    NotifyEvict(victim);
-  }
-}
-
-void S3FifoPolicy::EvictMain() {
-  while (true) {
-    QDLP_DCHECK(!main_fifo_.empty());
-    const uint32_t candidate_slot = main_fifo_.front();
-    const ObjectId candidate = main_fifo_[candidate_slot];
-    Entry* entry = index_.Find(candidate);
-    QDLP_DCHECK(entry != nullptr && entry->where == Where::kMain);
-    if (entry->freq > 0) {
-      // Lazy promotion: demonstrated reuse buys another lap at freq - 1.
-      --entry->freq;
-      main_fifo_.MoveToBack(candidate_slot);
-      continue;
-    }
-    main_fifo_.Erase(candidate_slot);
-    index_.Erase(candidate);
-    NotifyEvict(candidate);
-    return;
-  }
-}
-
-void S3FifoPolicy::MakeRoom() {
-  while (index_.size() >= capacity()) {
-    if (!small_fifo_.empty() &&
-        (small_fifo_.size() >= small_capacity_ || main_fifo_.empty())) {
-      EvictSmall();
-    } else {
-      EvictMain();
-    }
-  }
-}
-
-bool S3FifoPolicy::OnAccess(ObjectId id) {
-  Entry* entry = index_.Find(id);
-  if (entry != nullptr) {
-    entry->freq = std::min<uint8_t>(entry->freq + 1, kMaxFreq);
-    return true;
-  }
-  MakeRoom();
-  if (ghost_.Consume(id)) {
-    InsertMain(id);
-  } else {
-    InsertSmall(id);
-  }
-  return false;
-}
+// Compile both index backings once here rather than in every TU.
+template class BasicS3FifoPolicy<FlatIndexFactory>;
+template class BasicS3FifoPolicy<DenseIndexFactory>;
 
 }  // namespace qdlp

@@ -2,69 +2,8 @@
 
 namespace qdlp {
 
-SievePolicy::SievePolicy(size_t capacity) : EvictionPolicy(capacity, "sieve") {
-  queue_.Reserve(capacity);
-  // +1: a miss emplaces the newcomer before evicting the victim, so the
-  // index transiently holds capacity + 1 entries.
-  index_.Reserve(capacity + 1);
-}
-
-void SievePolicy::CheckInvariants() const {
-  QDLP_CHECK(queue_.size() == index_.size());
-  QDLP_CHECK(index_.size() <= capacity());
-  bool hand_in_queue = hand_ == IntrusiveList<Node>::kNullSlot;
-  queue_.ForEach([&](uint32_t slot, const Node& node) {
-    const uint32_t* indexed = index_.Find(node.id);
-    QDLP_CHECK(indexed != nullptr);
-    QDLP_CHECK(*indexed == slot);
-    if (slot == hand_) {
-      hand_in_queue = true;
-    }
-  });
-  QDLP_CHECK(hand_in_queue);
-  queue_.CheckInvariants();
-  index_.CheckInvariants();
-}
-
-void SievePolicy::EvictOne() {
-  QDLP_DCHECK(!queue_.empty());
-  // The hand resumes where the previous eviction stopped; when it falls off
-  // the head (or was never set), it restarts at the tail.
-  if (hand_ == IntrusiveList<Node>::kNullSlot) {
-    hand_ = queue_.back();
-  }
-  while (queue_[hand_].visited) {
-    queue_[hand_].visited = false;
-    if (hand_ == queue_.front()) {
-      hand_ = queue_.back();  // wrap: head -> tail
-    } else {
-      hand_ = queue_.Prev(hand_);  // move toward the head
-    }
-  }
-  const ObjectId victim = queue_[hand_].id;
-  const uint32_t next = hand_ == queue_.front()
-                            ? IntrusiveList<Node>::kNullSlot
-                            : queue_.Prev(hand_);
-  queue_.Erase(hand_);
-  hand_ = next;
-  index_.Erase(victim);
-  NotifyEvict(victim);
-}
-
-bool SievePolicy::OnAccess(ObjectId id) {
-  const auto [slot, inserted] = index_.Emplace(id);
-  if (!inserted) {
-    queue_[*slot].visited = true;  // the only metadata write on a hit
-    return true;
-  }
-  // Evict after the emplace (one probe covers lookup + insert); Erase never
-  // relocates live index slots, so `slot` stays valid across it.
-  if (index_.size() > capacity()) {
-    EvictOne();
-  }
-  *slot = queue_.PushFront(Node{id, false});
-  NotifyInsert(id);
-  return false;
-}
+// Compile both index backings once here rather than in every TU.
+template class BasicSievePolicy<FlatIndexFactory>;
+template class BasicSievePolicy<DenseIndexFactory>;
 
 }  // namespace qdlp

@@ -1,113 +1,9 @@
 #include "src/policies/clock.h"
 
-#include <string>
-
 namespace qdlp {
 
-namespace {
-std::string ClockName(int bits) {
-  if (bits == 1) {
-    return "fifo-reinsertion";
-  }
-  return "clock" + std::to_string(bits);
-}
-}  // namespace
-
-ClockPolicy::ClockPolicy(size_t capacity, int bits)
-    : EvictionPolicy(capacity, ClockName(bits)), bits_(bits) {
-  QDLP_CHECK(bits >= 1 && bits <= 8);
-  QDLP_CHECK(capacity <= 0xFFFFFFFFu);  // ring slots are indexed by uint32
-  max_counter_ = static_cast<uint8_t>((1u << bits) - 1);
-  ring_.reserve(capacity);
-  index_.Reserve(capacity);
-}
-
-void ClockPolicy::CheckInvariants() const {
-  QDLP_CHECK(ring_.size() <= capacity());
-  QDLP_CHECK(index_.size() <= capacity());
-  size_t occupied = 0;
-  for (size_t slot = 0; slot < ring_.size(); ++slot) {
-    if (!ring_[slot].occupied) {
-      continue;
-    }
-    ++occupied;
-    QDLP_CHECK(ring_[slot].counter <= max_counter_);
-    const uint32_t* indexed = index_.Find(ring_[slot].id);
-    QDLP_CHECK(indexed != nullptr);
-    QDLP_CHECK(*indexed == slot);
-  }
-  QDLP_CHECK(occupied == index_.size());
-  for (const size_t slot : free_slots_) {
-    QDLP_CHECK(slot < ring_.size());
-    QDLP_CHECK(!ring_[slot].occupied);
-  }
-  index_.CheckInvariants();
-}
-
-bool ClockPolicy::OnAccess(ObjectId id) {
-  const uint32_t* indexed = index_.Find(id);
-  if (indexed != nullptr) {
-    Slot& slot = ring_[*indexed];
-    if (slot.counter < max_counter_) {
-      ++slot.counter;
-    }
-    return true;
-  }
-  if (!free_slots_.empty()) {
-    // Reuse a slot vacated by Remove().
-    const size_t slot_index = free_slots_.back();
-    free_slots_.pop_back();
-    ring_[slot_index] = Slot{id, 0, true};
-    index_[id] = static_cast<uint32_t>(slot_index);
-    NotifyInsert(id);
-    return false;
-  }
-  if (ring_.size() < capacity()) {
-    // Still filling: append in FIFO order.
-    index_[id] = static_cast<uint32_t>(ring_.size());
-    ring_.push_back(Slot{id, 0, true});
-    NotifyInsert(id);
-    return false;
-  }
-  const size_t slot_index = EvictOne();
-  ring_[slot_index] = Slot{id, 0, true};
-  index_[id] = static_cast<uint32_t>(slot_index);
-  NotifyInsert(id);
-  // Advance past the slot we just filled so the new object gets a full lap
-  // before it is considered for eviction, matching FIFO insertion order.
-  hand_ = (slot_index + 1) % ring_.size();
-  return false;
-}
-
-size_t ClockPolicy::EvictOne() {
-  while (true) {
-    Slot& slot = ring_[hand_];
-    if (!slot.occupied) {
-      hand_ = (hand_ + 1) % ring_.size();
-      continue;
-    }
-    if (slot.counter == 0) {
-      index_.Erase(slot.id);
-      slot.occupied = false;
-      NotifyEvict(slot.id);
-      return hand_;
-    }
-    --slot.counter;
-    hand_ = (hand_ + 1) % ring_.size();
-  }
-}
-
-bool ClockPolicy::Remove(ObjectId id) {
-  const uint32_t* indexed = index_.Find(id);
-  if (indexed == nullptr) {
-    return false;
-  }
-  const size_t slot_index = *indexed;
-  ring_[slot_index].occupied = false;
-  free_slots_.push_back(slot_index);
-  index_.Erase(id);
-  NotifyEvict(id);
-  return true;
-}
+// Compile both index backings once here rather than in every TU.
+template class BasicClockPolicy<FlatIndexFactory>;
+template class BasicClockPolicy<DenseIndexFactory>;
 
 }  // namespace qdlp

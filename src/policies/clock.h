@@ -6,37 +6,97 @@
 // hand sweeps the ring, decrementing non-zero counters ("reinsertion") and
 // evicting the first zero-counter object. Hits touch one small counter and
 // need no locking — LP keeps FIFO's throughput profile.
+//
+// The id index backing is a template parameter: ClockPolicy probes an
+// open-addressing FlatMap, DenseClockPolicy (batched sweep engine, dense
+// traces) a direct-indexed slot array.
 
 #ifndef QDLP_SRC_POLICIES_CLOCK_H_
 #define QDLP_SRC_POLICIES_CLOCK_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/policies/eviction_policy.h"
-#include "src/util/flat_map.h"
+#include "src/util/dense_index.h"
 
 namespace qdlp {
 
-class ClockPolicy : public EvictionPolicy {
+namespace internal {
+inline std::string ClockName(int bits) {
+  if (bits == 1) {
+    return "fifo-reinsertion";
+  }
+  return "clock" + std::to_string(bits);
+}
+}  // namespace internal
+
+template <typename IndexFactory>
+class BasicClockPolicy : public EvictionPolicy {
  public:
   // `bits` in [1, 8]: reference-counter width. New objects start at 0.
-  ClockPolicy(size_t capacity, int bits = 1);
+  explicit BasicClockPolicy(size_t capacity, int bits = 1,
+                            IndexFactory factory = {})
+      : EvictionPolicy(capacity, internal::ClockName(bits)),
+        bits_(bits),
+        index_(factory.template Make<uint32_t>()) {
+    QDLP_CHECK(bits >= 1 && bits <= 8);
+    QDLP_CHECK(capacity <= 0xFFFFFFFFu);  // ring slots are indexed by uint32
+    max_counter_ = static_cast<uint8_t>((1u << bits) - 1);
+    ring_.reserve(capacity);
+    index_.Reserve(capacity);
+  }
 
   size_t size() const override { return index_.size(); }
   bool Contains(ObjectId id) const override { return index_.Contains(id); }
 
+  uint64_t AccessBatch(const uint32_t* ids, size_t n) override {
+    return PrefetchPipelinedBatch(*this, index_, ids, n);
+  }
+
   // Removal (for TTL): the slot is freed and reused by the next admission.
   // Reusing a freed slot places the newcomer at the removed object's ring
   // position — an approximation inherent to ring CLOCKs.
-  bool Remove(ObjectId id) override;
+  bool Remove(ObjectId id) override {
+    const uint32_t* indexed = index_.Find(id);
+    if (indexed == nullptr) {
+      return false;
+    }
+    const size_t slot_index = *indexed;
+    ring_[slot_index].occupied = false;
+    free_slots_.push_back(slot_index);
+    index_.Erase(id);
+    NotifyEvict(id);
+    return true;
+  }
   bool SupportsRemoval() const override { return true; }
 
   int bits() const { return bits_; }
 
   // Ring/index consistency: occupied slots are exactly the indexed ids,
   // freed slots are tracked, counters respect the bit width.
-  void CheckInvariants() const override;
+  void CheckInvariants() const override {
+    QDLP_CHECK(ring_.size() <= capacity());
+    QDLP_CHECK(index_.size() <= capacity());
+    size_t occupied = 0;
+    for (size_t slot = 0; slot < ring_.size(); ++slot) {
+      if (!ring_[slot].occupied) {
+        continue;
+      }
+      ++occupied;
+      QDLP_CHECK(ring_[slot].counter <= max_counter_);
+      const uint32_t* indexed = index_.Find(ring_[slot].id);
+      QDLP_CHECK(indexed != nullptr);
+      QDLP_CHECK(*indexed == slot);
+    }
+    QDLP_CHECK(occupied == index_.size());
+    for (const size_t slot : free_slots_) {
+      QDLP_CHECK(slot < ring_.size());
+      QDLP_CHECK(!ring_[slot].occupied);
+    }
+    index_.CheckInvariants();
+  }
 
   size_t ApproxMetadataBytes() const override {
     return ring_.capacity() * sizeof(Slot) + index_.MemoryBytes() +
@@ -44,7 +104,41 @@ class ClockPolicy : public EvictionPolicy {
   }
 
  protected:
-  bool OnAccess(ObjectId id) override;
+  bool OnAccess(ObjectId id) override {
+    const uint32_t* indexed = index_.Find(id);
+    if (indexed != nullptr) {
+      Slot& slot = ring_[*indexed];
+      if (slot.counter < max_counter_) {
+        ++slot.counter;
+      }
+      return true;
+    }
+    if (!free_slots_.empty()) {
+      // Reuse a slot vacated by Remove().
+      const size_t slot_index = free_slots_.back();
+      free_slots_.pop_back();
+      ring_[slot_index] = Slot{id, 0, true};
+      index_[id] = static_cast<uint32_t>(slot_index);
+      NotifyInsert(id);
+      return false;
+    }
+    if (ring_.size() < capacity()) {
+      // Still filling: append in FIFO order.
+      index_[id] = static_cast<uint32_t>(ring_.size());
+      ring_.push_back(Slot{id, 0, true});
+      NotifyInsert(id);
+      return false;
+    }
+    const size_t slot_index = EvictOne();
+    ring_[slot_index] = Slot{id, 0, true};
+    index_[id] = static_cast<uint32_t>(slot_index);
+    NotifyInsert(id);
+    // Advance past the slot we just filled so the new object gets a full
+    // lap before it is considered for eviction, matching FIFO insertion
+    // order.
+    hand_ = (slot_index + 1) % ring_.size();
+    return false;
+  }
 
  private:
   struct Slot {
@@ -55,15 +149,37 @@ class ClockPolicy : public EvictionPolicy {
 
   // Advances the hand to a victim slot (decrementing counters), evicts its
   // occupant, and returns the slot index for reuse.
-  size_t EvictOne();
+  size_t EvictOne() {
+    while (true) {
+      Slot& slot = ring_[hand_];
+      if (!slot.occupied) {
+        hand_ = (hand_ + 1) % ring_.size();
+        continue;
+      }
+      if (slot.counter == 0) {
+        index_.Erase(slot.id);
+        slot.occupied = false;
+        NotifyEvict(slot.id);
+        return hand_;
+      }
+      --slot.counter;
+      hand_ = (hand_ + 1) % ring_.size();
+    }
+  }
 
   int bits_;
   uint8_t max_counter_;
   std::vector<Slot> ring_;
   size_t hand_ = 0;
-  FlatMap<uint32_t> index_;  // id -> ring slot
+  typename IndexFactory::template Index<uint32_t> index_;  // id -> ring slot
   std::vector<size_t> free_slots_;  // slots vacated by Remove()
 };
+
+using ClockPolicy = BasicClockPolicy<FlatIndexFactory>;
+using DenseClockPolicy = BasicClockPolicy<DenseIndexFactory>;
+
+extern template class BasicClockPolicy<FlatIndexFactory>;
+extern template class BasicClockPolicy<DenseIndexFactory>;
 
 }  // namespace qdlp
 

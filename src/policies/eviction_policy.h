@@ -20,6 +20,7 @@
 
 #include "src/trace/trace.h"
 #include "src/util/check.h"
+#include "src/util/prefetch.h"
 
 namespace qdlp {
 
@@ -57,6 +58,21 @@ class EvictionPolicy {
     CheckInvariants();
 #endif
     return hit;
+  }
+
+  // Replays a batch of requests from a dense u32 id stream (see
+  // src/trace/dense_trace.h); returns the number of hits. Semantically
+  // identical to calling Access per id — this exists so the batched sweep
+  // engine (src/sim/batch_replay.h) has a virtual seam the index-backed
+  // policies override with a software-prefetch pipeline: the index slot of
+  // request i + kBatchPrefetchDepth is prefetched while request i is
+  // processed, overlapping probe latency with policy work.
+  virtual uint64_t AccessBatch(const uint32_t* ids, size_t n) {
+    uint64_t hits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      hits += Access(ids[i]) ? 1 : 0;
+    }
+    return hits;
   }
 
   // Validates the policy's internal invariants (queue-size accounting,
@@ -117,6 +133,24 @@ class EvictionPolicy {
   uint64_t now_ = 0;
   EvictionListener* listener_ = nullptr;
 };
+
+// The prefetch-pipelined batch loop shared by the index-backed policies'
+// AccessBatch overrides: `index` is whatever structure the policy probes
+// first on a hit (its id -> slot table), and its Prefetch(key) pulls the
+// probe target for request i + kBatchPrefetchDepth forward while request i
+// runs through Access (clock advance and invariant hooks included).
+template <typename Policy, typename Index>
+uint64_t PrefetchPipelinedBatch(Policy& policy, const Index& index,
+                                const uint32_t* ids, size_t n) {
+  uint64_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kBatchPrefetchDepth < n) {
+      index.Prefetch(ids[i + kBatchPrefetchDepth]);
+    }
+    hits += policy.Access(ids[i]) ? 1 : 0;
+  }
+  return hits;
+}
 
 }  // namespace qdlp
 

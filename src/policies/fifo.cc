@@ -2,58 +2,8 @@
 
 namespace qdlp {
 
-FifoPolicy::FifoPolicy(size_t capacity) : EvictionPolicy(capacity, "fifo") {
-  queue_.Reserve(capacity);
-  // +1: a miss emplaces the newcomer before evicting the victim, so the
-  // index transiently holds capacity + 1 entries.
-  index_.Reserve(capacity + 1);
-}
-
-void FifoPolicy::CheckInvariants() const {
-  QDLP_CHECK(index_.size() <= capacity());
-  QDLP_CHECK(queue_.size() == index_.size());
-  queue_.ForEach([&](uint32_t slot, ObjectId id) {
-    const uint32_t* indexed = index_.Find(id);
-    QDLP_CHECK(indexed != nullptr);
-    QDLP_CHECK(*indexed == slot);
-  });
-  queue_.CheckInvariants();
-  index_.CheckInvariants();
-}
-
-void FifoPolicy::EvictOldest() {
-  QDLP_CHECK(!queue_.empty());
-  const uint32_t slot = queue_.front();
-  const ObjectId victim = queue_[slot];
-  queue_.Erase(slot);
-  index_.Erase(victim);
-  NotifyEvict(victim);
-}
-
-bool FifoPolicy::OnAccess(ObjectId id) {
-  const auto [slot, inserted] = index_.Emplace(id);
-  if (!inserted) {
-    return true;
-  }
-  // Evict after the emplace (one probe covers lookup + insert); Erase never
-  // relocates live index slots, so `slot` stays valid across it.
-  if (index_.size() > capacity()) {
-    EvictOldest();
-  }
-  *slot = queue_.PushBack(id);
-  NotifyInsert(id);
-  return false;
-}
-
-bool FifoPolicy::Remove(ObjectId id) {
-  const uint32_t* slot = index_.Find(id);
-  if (slot == nullptr) {
-    return false;
-  }
-  queue_.Erase(*slot);
-  index_.Erase(id);
-  NotifyEvict(id);
-  return true;
-}
+// Compile both index backings once here rather than in every TU.
+template class BasicFifoPolicy<FlatIndexFactory>;
+template class BasicFifoPolicy<DenseIndexFactory>;
 
 }  // namespace qdlp

@@ -2,54 +2,8 @@
 
 namespace qdlp {
 
-LruPolicy::LruPolicy(size_t capacity) : EvictionPolicy(capacity, "lru") {
-  mru_list_.Reserve(capacity);
-  // +1: a miss emplaces the newcomer before evicting the victim, so the
-  // index transiently holds capacity + 1 entries.
-  index_.Reserve(capacity + 1);
-}
-
-void LruPolicy::CheckInvariants() const {
-  QDLP_CHECK(index_.size() <= capacity());
-  QDLP_CHECK(mru_list_.size() == index_.size());
-  mru_list_.ForEach([&](uint32_t slot, ObjectId id) {
-    const uint32_t* indexed = index_.Find(id);
-    QDLP_CHECK(indexed != nullptr);
-    QDLP_CHECK(*indexed == slot);
-  });
-  mru_list_.CheckInvariants();
-  index_.CheckInvariants();
-}
-
-bool LruPolicy::Remove(ObjectId id) {
-  const uint32_t* slot = index_.Find(id);
-  if (slot == nullptr) {
-    return false;
-  }
-  mru_list_.Erase(*slot);
-  index_.Erase(id);
-  NotifyEvict(id);
-  return true;
-}
-
-bool LruPolicy::OnAccess(ObjectId id) {
-  const auto [slot, inserted] = index_.Emplace(id);
-  if (!inserted) {
-    mru_list_.MoveToFront(*slot);
-    return true;
-  }
-  // Evict after the emplace (one probe covers lookup + insert); Erase never
-  // relocates live index slots, so `slot` stays valid across it.
-  if (index_.size() > capacity()) {
-    const uint32_t victim_slot = mru_list_.back();
-    const ObjectId victim = mru_list_[victim_slot];
-    mru_list_.Erase(victim_slot);
-    index_.Erase(victim);
-    NotifyEvict(victim);
-  }
-  *slot = mru_list_.PushFront(id);
-  NotifyInsert(id);
-  return false;
-}
+// Compile both index backings once here rather than in every TU.
+template class BasicLruPolicy<FlatIndexFactory>;
+template class BasicLruPolicy<DenseIndexFactory>;
 
 }  // namespace qdlp

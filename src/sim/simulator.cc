@@ -22,10 +22,31 @@ SimResult ReplayTrace(EvictionPolicy& policy, const Trace& trace) {
   return result;
 }
 
+std::unique_ptr<EvictionPolicy> MakePolicyOrDie(
+    const std::string& policy_name, size_t cache_size,
+    const std::vector<ObjectId>* trace) {
+  auto policy = MakePolicy(policy_name, cache_size, trace);
+  if (policy != nullptr) {
+    return policy;
+  }
+  if (policy_name == "belady" && trace == nullptr) {
+    std::fprintf(stderr,
+                 "MakePolicyOrDie: policy \"belady\" requires the request "
+                 "stream (pass the trace)\n");
+    std::abort();
+  }
+  std::string known;
+  for (const std::string& name : KnownPolicyNames()) {
+    known += known.empty() ? name : ", " + name;
+  }
+  std::fprintf(stderr, "MakePolicyOrDie: unknown policy \"%s\"; known: %s\n",
+               policy_name.c_str(), known.c_str());
+  std::abort();
+}
+
 SimResult SimulatePolicy(const std::string& policy_name, const Trace& trace,
                          size_t cache_size) {
-  auto policy = MakePolicy(policy_name, cache_size, &trace.requests);
-  QDLP_CHECK_MSG(policy != nullptr, policy_name.c_str());
+  auto policy = MakePolicyOrDie(policy_name, cache_size, &trace.requests);
   return ReplayTrace(*policy, trace);
 }
 

@@ -33,6 +33,13 @@ struct SimResult {
 // Replays `trace` through `policy` (which must be freshly constructed).
 SimResult ReplayTrace(EvictionPolicy& policy, const Trace& trace);
 
+// Builds `policy_name` via the factory, aborting with a diagnostic instead
+// of returning nullptr: an unknown name dies listing every known policy
+// name, and "belady" without a trace dies explaining that it needs one.
+std::unique_ptr<EvictionPolicy> MakePolicyOrDie(
+    const std::string& policy_name, size_t cache_size,
+    const std::vector<ObjectId>* trace = nullptr);
+
 // Convenience: builds `policy_name` via the factory at `cache_size` and
 // replays. Aborts on unknown policy names (programmer error in harnesses).
 SimResult SimulatePolicy(const std::string& policy_name, const Trace& trace,

@@ -3,29 +3,30 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "src/sim/batch_replay.h"
 #include "src/sim/simulator.h"
+#include "src/trace/dense_trace.h"
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
 
 namespace qdlp {
 
-std::vector<SweepPoint> RunSweep(const std::vector<Trace>& traces,
-                                 const SweepConfig& config) {
-  QDLP_CHECK(!config.policies.empty());
-  QDLP_CHECK(!config.size_fractions.empty());
+namespace {
 
+// Per-cell engine: one task per (trace, size fraction), each cell a full
+// replay of the original trace. A whole-trace task would make the longest
+// trace times the whole fraction sweep the critical path; per-(trace,
+// fraction) tasks keep every core busy through the tail.
+void RunSweepPerCell(const std::vector<Trace>& traces,
+                     const SweepConfig& config, ThreadPool& pool,
+                     std::vector<SweepPoint>& points) {
   const size_t per_trace = config.size_fractions.size() * config.policies.size();
-  std::vector<SweepPoint> points(traces.size() * per_trace);
-
-  ThreadPool pool(config.num_threads);
   for (size_t t = 0; t < traces.size(); ++t) {
-    // One task per (trace, size fraction): a whole-trace task makes the
-    // longest trace times the whole fraction sweep the critical path, while
-    // per-(trace, fraction) tasks let the pool keep every core busy through
-    // the tail. Output slots are preassigned so ordering is identical to
-    // the sequential nesting (trace-major, then fraction, then policy).
     for (size_t f = 0; f < config.size_fractions.size(); ++f) {
-      pool.Submit([&, t, f] {
+      // per_trace by value: this helper returns before pool.Wait(), so its
+      // frame is gone by the time workers run; traces/config/points are the
+      // caller's and outlive the pool.
+      pool.Submit([&, t, f, per_trace] {
         const Trace& trace = traces[t];
         const double fraction = config.size_fractions[f];
         const size_t cache_size = CacheSizeForFraction(trace, fraction);
@@ -43,6 +44,76 @@ std::vector<SweepPoint> RunSweep(const std::vector<Trace>& traces,
         }
       });
     }
+  }
+}
+
+// Batched engine: one task per trace. The task densifies the trace once,
+// then a single interleaved pass drives every (fraction x policy) cell
+// (batch_replay.h). Coarser tasks than per-cell, but each task does its
+// work in one stream pass instead of cells-many, so the critical path
+// shrinks rather than grows.
+void RunSweepBatched(const std::vector<Trace>& traces,
+                     const SweepConfig& config, ThreadPool& pool,
+                     std::vector<SweepPoint>& points) {
+  const size_t per_trace = config.size_fractions.size() * config.policies.size();
+  for (size_t t = 0; t < traces.size(); ++t) {
+    // Same lifetime rule as RunSweepPerCell: per_trace by value.
+    pool.Submit([&, t, per_trace] {
+      const Trace& trace = traces[t];
+      const DenseTrace dense = DensifyTrace(trace);
+      // Cells in (fraction, policy) nesting — the exact slot order.
+      std::vector<BatchCellSpec> cells;
+      cells.reserve(per_trace);
+      for (const double fraction : config.size_fractions) {
+        const size_t cache_size = CacheSizeForFraction(trace, fraction);
+        for (const std::string& policy : config.policies) {
+          cells.push_back(BatchCellSpec{policy, cache_size});
+        }
+      }
+      BatchReplayOptions options;
+      options.batch_size = config.batch_size;
+      options.max_dense_universe = config.max_dense_universe;
+      const std::vector<SimResult> results =
+          BatchReplayTrace(dense, cells, options, &trace.requests);
+      size_t slot = t * per_trace;
+      size_t cell = 0;
+      for (size_t f = 0; f < config.size_fractions.size(); ++f) {
+        for (const std::string& policy : config.policies) {
+          const SimResult& result = results[cell];
+          SweepPoint& point = points[slot];
+          point.trace = trace.name;
+          point.dataset = trace.dataset;
+          point.cls = trace.cls;
+          point.size_fraction = config.size_fractions[f];
+          point.cache_size = cells[cell].cache_size;
+          point.policy = policy;
+          point.miss_ratio = result.miss_ratio();
+          ++slot;
+          ++cell;
+        }
+      }
+    });
+  }
+}
+
+}  // namespace
+
+std::vector<SweepPoint> RunSweep(const std::vector<Trace>& traces,
+                                 const SweepConfig& config) {
+  QDLP_CHECK(!config.policies.empty());
+  QDLP_CHECK(!config.size_fractions.empty());
+
+  const size_t per_trace = config.size_fractions.size() * config.policies.size();
+  std::vector<SweepPoint> points(traces.size() * per_trace);
+
+  // Output slots are preassigned so ordering is identical to the
+  // sequential nesting (trace-major, then fraction, then policy) no matter
+  // which engine ran or how its tasks were scheduled.
+  ThreadPool pool(config.num_threads);
+  if (config.engine == SweepEngine::kBatched) {
+    RunSweepBatched(traces, config, pool, points);
+  } else {
+    RunSweepPerCell(traces, config, pool, points);
   }
   pool.Wait();
   return points;

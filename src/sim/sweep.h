@@ -23,16 +23,33 @@ struct SweepPoint {
   double miss_ratio = 0.0;
 };
 
+// How the grid is executed. Both engines produce the same SweepPoints in
+// the same order with bit-identical miss ratios (pinned by tests); they
+// differ only in speed.
+enum class SweepEngine {
+  // One pass over each trace's dense-id stream drives all of its
+  // (fraction x policy) cells in interleaved batches (batch_replay.h).
+  // Pays one remap per trace, then reads the halved-width stream once.
+  kBatched,
+  // One full replay of the original trace per cell (simulator.h). Kept as
+  // the differential reference and the bench baseline.
+  kPerCell,
+};
+
 struct SweepConfig {
   std::vector<std::string> policies;
   // Cache sizes as fractions of each trace's unique-object count.
   std::vector<double> size_fractions = {0.001, 0.10};
   // 0 = hardware concurrency.
   size_t num_threads = 0;
+  SweepEngine engine = SweepEngine::kBatched;
+  // Batched engine tuning; see BatchReplayOptions for semantics.
+  size_t batch_size = 1024;
+  uint64_t max_dense_universe = uint64_t{1} << 26;
 };
 
 // Runs the full grid. Results are in deterministic order (trace-major,
-// fraction, policy) regardless of thread scheduling.
+// fraction, policy) regardless of thread scheduling or engine choice.
 std::vector<SweepPoint> RunSweep(const std::vector<Trace>& traces,
                                  const SweepConfig& config);
 

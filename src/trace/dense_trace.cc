@@ -1,0 +1,25 @@
+#include "src/trace/dense_trace.h"
+
+#include <utility>
+
+namespace qdlp {
+
+DenseTrace DensifyTrace(const Trace& trace) {
+  DenseTrace dense;
+  dense.name = trace.name;
+  dense.dataset = trace.dataset;
+  dense.cls = trace.cls;
+  dense.requests.reserve(trace.requests.size());
+  // num_objects is usually populated (generators set it); use it to
+  // right-size the mapper's table and avoid growth rehashes mid-pass.
+  DenseIdMapper mapper(trace.num_objects > 0
+                           ? static_cast<size_t>(trace.num_objects)
+                           : trace.requests.size() / 2);
+  for (ObjectId id : trace.requests) {
+    dense.requests.push_back(mapper.MapOrAssign(id));
+  }
+  dense.to_original = std::move(mapper).TakeToOriginal();
+  return dense;
+}
+
+}  // namespace qdlp

@@ -1,0 +1,91 @@
+// Dense-id traces: a one-time remap of 64-bit object ids onto the compact
+// range [0, num_objects), assigned in first-appearance order.
+//
+// The sweep harness replays the same trace under dozens of (policy x size)
+// configurations; the remap is paid once per trace and buys three things
+// everywhere downstream:
+//
+//  * The request stream halves in width (u32 vs u64), halving the DRAM
+//    bandwidth of every replay pass over it.
+//  * Policies built over DenseIndex (src/util/dense_index.h) replace every
+//    hash probe with a direct-indexed slot load — ids are array indexes.
+//  * `num_objects` falls out as a byproduct of the remap, so trace stats no
+//    longer need a separate hash-set pass.
+//
+// Because ids are assigned by first appearance, the mapping is a bijection
+// between the trace's distinct ids and [0, num_objects); policies whose
+// decisions are id-agnostic (everything except sampling/hashing policies —
+// see HasDenseVariant in policy_factory.h) produce bit-identical miss
+// ratios on the dense stream. For the rest, `to_original` translates dense
+// ids back so they can be fed the original stream batch by batch.
+
+#ifndef QDLP_SRC_TRACE_DENSE_TRACE_H_
+#define QDLP_SRC_TRACE_DENSE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+#include "src/util/flat_map.h"
+
+namespace qdlp {
+
+// Incremental ObjectId -> dense-u32 assignment in first-appearance order.
+// Exposed separately from DensifyTrace so single-pass consumers (trace
+// stats, streaming loaders) can remap without materializing a DenseTrace.
+class DenseIdMapper {
+ public:
+  explicit DenseIdMapper(size_t expected_objects = 0) {
+    if (expected_objects > 0) {
+      index_.Reserve(expected_objects);
+      to_original_.reserve(expected_objects);
+    }
+  }
+
+  // Returns the dense id for `id`, assigning the next free one on first
+  // sight. Dense ids count up from 0 with no gaps.
+  uint32_t MapOrAssign(ObjectId id) {
+    const auto [slot, inserted] = index_.Emplace(id);
+    if (inserted) {
+      *slot = static_cast<uint32_t>(to_original_.size());
+      to_original_.push_back(id);
+    }
+    return *slot;
+  }
+
+  // Number of distinct ids seen so far == the next dense id to be assigned.
+  uint32_t num_ids() const {
+    return static_cast<uint32_t>(to_original_.size());
+  }
+
+  // to_original()[dense] is the original id mapped to `dense`.
+  const std::vector<ObjectId>& to_original() const { return to_original_; }
+  std::vector<ObjectId> TakeToOriginal() && { return std::move(to_original_); }
+
+ private:
+  FlatMap<uint32_t> index_;
+  std::vector<ObjectId> to_original_;
+};
+
+// A trace after the dense remap. Carries the same identity metadata as the
+// Trace it came from plus the reverse mapping.
+struct DenseTrace {
+  std::string name;
+  std::string dataset;
+  WorkloadClass cls = WorkloadClass::kBlock;
+  std::vector<uint32_t> requests;     // dense ids, first appearance = 0,1,...
+  std::vector<ObjectId> to_original;  // dense id -> original ObjectId
+
+  size_t num_requests() const { return requests.size(); }
+  uint64_t num_objects() const { return to_original.size(); }
+};
+
+// One pass over `trace.requests`: remaps every request and returns the
+// dense stream plus the reverse mapping. O(num_requests) time, and the
+// only hash-table work the sweep engine does per trace.
+DenseTrace DensifyTrace(const Trace& trace);
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_TRACE_DENSE_TRACE_H_

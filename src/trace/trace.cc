@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
-#include <unordered_set>
+
+#include "src/trace/dense_trace.h"
 
 namespace qdlp {
 
@@ -18,33 +18,35 @@ const char* WorkloadClassName(WorkloadClass cls) {
 }
 
 uint64_t CountUniqueObjects(const std::vector<ObjectId>& requests) {
-  std::unordered_set<ObjectId> seen;
-  seen.reserve(requests.size() / 2);
+  DenseIdMapper mapper(requests.size() / 2);
   for (ObjectId id : requests) {
-    seen.insert(id);
+    mapper.MapOrAssign(id);
   }
-  return seen.size();
+  return mapper.num_ids();
 }
 
 TraceStats ComputeTraceStats(const Trace& trace) {
   TraceStats stats;
   stats.num_requests = trace.requests.size();
-  std::unordered_map<ObjectId, uint64_t> freq;
-  freq.reserve(trace.requests.size() / 2);
+  // One remap pass replaces the unordered_map<id, count> histogram: dense
+  // ids index a contiguous count array directly.
+  DenseIdMapper mapper(trace.requests.size() / 2);
+  std::vector<uint64_t> counts;
   for (ObjectId id : trace.requests) {
-    ++freq[id];
+    const uint32_t dense = mapper.MapOrAssign(id);
+    if (dense == counts.size()) {
+      counts.push_back(0);
+    }
+    ++counts[dense];
   }
-  stats.num_objects = freq.size();
+  stats.num_objects = mapper.num_ids();
   if (stats.num_objects == 0) {
     return stats;
   }
   stats.mean_frequency =
       static_cast<double>(stats.num_requests) / static_cast<double>(stats.num_objects);
   uint64_t one_hit = 0;
-  std::vector<uint64_t> counts;
-  counts.reserve(freq.size());
-  for (const auto& [id, count] : freq) {
-    counts.push_back(count);
+  for (uint64_t count : counts) {
     if (count == 1) {
       ++one_hit;
     }

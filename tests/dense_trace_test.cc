@@ -1,0 +1,115 @@
+// Dense-id trace remap: first-appearance numbering, exact round-trip back
+// to the original stream, and the trace-stats rewrite that rides on it.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/dense_trace.h"
+#include "src/trace/generators.h"
+#include "src/trace/trace.h"
+
+namespace qdlp {
+namespace {
+
+TEST(DenseIdMapperTest, AssignsFirstAppearanceOrder) {
+  DenseIdMapper mapper;
+  EXPECT_EQ(mapper.MapOrAssign(900), 0u);
+  EXPECT_EQ(mapper.MapOrAssign(5), 1u);
+  EXPECT_EQ(mapper.MapOrAssign(900), 0u);  // stable on repeat
+  EXPECT_EQ(mapper.MapOrAssign(77), 2u);
+  EXPECT_EQ(mapper.num_ids(), 3u);
+  EXPECT_EQ(mapper.to_original(), (std::vector<ObjectId>{900, 5, 77}));
+}
+
+TEST(DenseTraceTest, DensifyEmptyTrace) {
+  Trace trace;
+  trace.name = "empty";
+  const DenseTrace dense = DensifyTrace(trace);
+  EXPECT_EQ(dense.num_requests(), 0u);
+  EXPECT_EQ(dense.num_objects(), 0u);
+  EXPECT_EQ(dense.name, "empty");
+}
+
+TEST(DenseTraceTest, DensifyPreservesStructure) {
+  Trace trace;
+  trace.name = "toy";
+  trace.dataset = "unit";
+  trace.cls = WorkloadClass::kWeb;
+  trace.requests = {1000, 2000, 1000, 3000, 2000, 1000};
+  trace.num_objects = 3;
+  const DenseTrace dense = DensifyTrace(trace);
+  EXPECT_EQ(dense.name, trace.name);
+  EXPECT_EQ(dense.dataset, trace.dataset);
+  EXPECT_EQ(dense.cls, trace.cls);
+  EXPECT_EQ(dense.requests, (std::vector<uint32_t>{0, 1, 0, 2, 1, 0}));
+  EXPECT_EQ(dense.to_original, (std::vector<ObjectId>{1000, 2000, 3000}));
+  EXPECT_EQ(dense.num_objects(), 3u);
+}
+
+TEST(DenseTraceTest, RoundTripsGeneratedTrace) {
+  ZipfTraceConfig config;
+  config.num_requests = 50000;
+  config.num_objects = 4000;
+  const Trace trace = GenerateZipf(config);
+  const DenseTrace dense = DensifyTrace(trace);
+
+  ASSERT_EQ(dense.num_requests(), trace.requests.size());
+  EXPECT_EQ(dense.num_objects(), trace.num_objects);
+  // Translating every dense id back must reproduce the original stream
+  // exactly — this is the property the batched engine's original-id lane
+  // relies on for bit-identical replays.
+  for (size_t i = 0; i < trace.requests.size(); ++i) {
+    ASSERT_LT(dense.requests[i], dense.to_original.size());
+    ASSERT_EQ(dense.to_original[dense.requests[i]], trace.requests[i])
+        << "position " << i;
+  }
+  // Dense ids are first-appearance-ordered: id k appears in the stream
+  // before id k+1 ever does, so the running max increments by at most 1.
+  uint32_t next_unseen = 0;
+  for (const uint32_t id : dense.requests) {
+    ASSERT_LE(id, next_unseen);
+    if (id == next_unseen) {
+      ++next_unseen;
+    }
+  }
+  EXPECT_EQ(next_unseen, dense.num_objects());
+}
+
+TEST(DenseTraceTest, CountUniqueObjectsMatchesRemap) {
+  ZipfTraceConfig config;
+  config.num_requests = 20000;
+  config.num_objects = 1500;
+  config.seed = 7;
+  const Trace trace = GenerateZipf(config);
+  EXPECT_EQ(CountUniqueObjects(trace.requests),
+            DensifyTrace(trace).num_objects());
+  EXPECT_EQ(CountUniqueObjects({}), 0u);
+}
+
+TEST(DenseTraceTest, StatsUnchangedByIdRelabeling) {
+  // ComputeTraceStats now runs on dense ids internally; its output must be
+  // a pure function of the access pattern, so relabeling every id (here:
+  // an affine map, preserving distinctness) cannot change any statistic.
+  ScanLoopConfig config;
+  config.num_requests = 40000;
+  const Trace trace = GenerateScanLoop(config);
+  Trace relabeled = trace;
+  for (ObjectId& id : relabeled.requests) {
+    id = id * 2654435761ULL + 17;
+  }
+  const TraceStats original = ComputeTraceStats(trace);
+  const TraceStats mapped = ComputeTraceStats(relabeled);
+  EXPECT_EQ(original.num_requests, mapped.num_requests);
+  EXPECT_EQ(original.num_objects, mapped.num_objects);
+  EXPECT_DOUBLE_EQ(original.mean_frequency, mapped.mean_frequency);
+  EXPECT_DOUBLE_EQ(original.one_hit_wonder_ratio, mapped.one_hit_wonder_ratio);
+  EXPECT_DOUBLE_EQ(original.top_1pct_share, mapped.top_1pct_share);
+  EXPECT_DOUBLE_EQ(original.zipf_alpha, mapped.zipf_alpha);
+  EXPECT_DOUBLE_EQ(original.compulsory_miss_ratio,
+                   mapped.compulsory_miss_ratio);
+}
+
+}  // namespace
+}  // namespace qdlp

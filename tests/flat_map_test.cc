@@ -215,5 +215,43 @@ TEST(FlatMapPropertyTest, MatchesUnorderedMapUnderRandomOps) {
   }
 }
 
+TEST(FlatMapTest, PrefetchIsSafeOnAnyKey) {
+  // Prefetch is a pure performance hint; the contract is only that it never
+  // faults, present key or not, including on an empty table.
+  FlatMap<int> map;
+  map.Prefetch(0);
+  map.Prefetch(~uint64_t{0});
+  for (uint64_t key = 0; key < 100; ++key) {
+    map[key] = static_cast<int>(key);
+  }
+  for (uint64_t key = 0; key < 200; ++key) {
+    map.Prefetch(key);
+  }
+  map.CheckInvariants();
+}
+
+TEST(FlatMapTest, FindManyMatchesFind) {
+  Rng rng(2024);
+  FlatMap<uint64_t> map;
+  for (int i = 0; i < 4096; ++i) {
+    const uint64_t key = rng.NextBounded(8192);
+    map[key] = key * 3;
+  }
+  // Query batch mixes hits and misses, shorter and longer than the
+  // prefetch depth, in randomized order.
+  for (const size_t batch : {size_t{1}, size_t{3}, size_t{64}, size_t{1000}}) {
+    std::vector<uint64_t> keys(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      keys[i] = rng.NextBounded(16384);
+    }
+    std::vector<uint64_t*> batched(batch, nullptr);
+    map.FindMany(keys.data(), batch, batched.data());
+    for (size_t i = 0; i < batch; ++i) {
+      EXPECT_EQ(batched[i], map.Find(keys[i])) << "batch " << batch
+                                               << " index " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qdlp

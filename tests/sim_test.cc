@@ -260,6 +260,19 @@ TEST(MrcTest, DefaultFractionsAreSorted) {
   }
 }
 
+TEST(SimulatorDeathTest, UnknownPolicyDiesNamingItAndTheRegistry) {
+  // The abort message must name the offending policy and list the known
+  // names, so a typo in a harness config is diagnosable from the output.
+  const Trace trace = SmallZipfTrace();
+  EXPECT_DEATH(SimulatePolicy("lru-typo", trace, 100),
+               "unknown policy \"lru-typo\".*known:.*qd-lp-fifo");
+}
+
+TEST(SimulatorDeathTest, BeladyWithoutTraceDiesExplainingWhy) {
+  EXPECT_DEATH(MakePolicyOrDie("belady", 100, nullptr),
+               "\"belady\" requires the request stream");
+}
+
 TEST(IntegrationTest, RegistrySmokeSweep) {
   // End-to-end: a miniature registry swept with the core comparison set.
   const auto traces = MaterializeRegistry(0.02);

@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+        [--require NAME:MIN ...]
 
 Both files must be schema_version 1 outputs of the bench binaries (see
 bench/bench_json.h). Results are keyed by the full benchmark name (which
@@ -12,7 +13,14 @@ BOTH files, the candidate's ops_per_sec must not fall more than
 one file are reported but never fail the run — adding or retiring a
 benchmark family is not a regression.
 
-Exit status: 0 = no regression, 1 = at least one regression, 2 = bad input.
+--require NAME:MIN (repeatable) additionally asserts an absolute floor:
+the candidate's ops_per_sec for NAME must be >= MIN. Intended for
+machine-independent rows such as sweep_throughput's "sweep/speedup" ratio,
+where a hard floor is meaningful on any runner; a required name missing
+from the candidate is a failure.
+
+Exit status: 0 = no regression, 1 = at least one regression or unmet
+--require floor, 2 = bad input.
 """
 
 import argparse
@@ -51,9 +59,22 @@ def main(argv=None):
     parser.add_argument(
         "--threshold", type=float, default=0.15,
         help="max tolerated fractional ops/s drop (default 0.15 = 15%%)")
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="NAME:MIN",
+        help="absolute ops_per_sec floor for one benchmark in the candidate"
+             " (repeatable)")
     args = parser.parse_args(argv)
     if not 0.0 <= args.threshold < 1.0:
         parser.error("--threshold must be in [0, 1)")
+    floors = {}
+    for spec in args.require:
+        name, sep, minimum = spec.rpartition(":")
+        try:
+            floors[name] = float(minimum)
+        except ValueError:
+            sep = ""
+        if not sep or not name:
+            parser.error(f"--require expects NAME:MIN, got {spec!r}")
 
     baseline = load_results(args.baseline)
     candidate = load_results(args.candidate)
@@ -90,14 +111,32 @@ def main(argv=None):
     for name in only_cand:
         print(f"note: {name} only in candidate (new)")
 
-    if regressions:
-        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
-              f"{args.threshold:.0%}:", file=sys.stderr)
-        for name in regressions:
-            print(f"  {name}", file=sys.stderr)
+    unmet = []
+    for name, minimum in sorted(floors.items()):
+        if name not in candidate:
+            unmet.append(f"{name}: missing from candidate (floor {minimum:g})")
+            continue
+        ops = float(candidate[name]["ops_per_sec"])
+        status = "ok" if ops >= minimum else "UNMET"
+        print(f"floor: {name} >= {minimum:g}: {ops:g} ({status})")
+        if ops < minimum:
+            unmet.append(f"{name}: {ops:g} < floor {minimum:g}")
+
+    if regressions or unmet:
+        if regressions:
+            print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
+                  f"than {args.threshold:.0%}:", file=sys.stderr)
+            for name in regressions:
+                print(f"  {name}", file=sys.stderr)
+        if unmet:
+            print(f"\nFAIL: {len(unmet)} --require floor(s) unmet:",
+                  file=sys.stderr)
+            for line in unmet:
+                print(f"  {line}", file=sys.stderr)
         return 1
     print(f"\nOK: {len(common)} benchmark(s) within {args.threshold:.0%} of "
-          "baseline.")
+          "baseline"
+          + (f", {len(floors)} floor(s) met." if floors else "."))
     return 0
 
 
