@@ -16,8 +16,12 @@
 //         "bytes_per_object": 38.2,       // metadata bytes per cached
 //                                         //   object (0 = uninstrumented)
 //         "hit_ratio": 0.87,              // hits/requests (0 = unmeasured)
-//         "scaling_efficiency": 0.93 },   // ops(T) / (T * ops(1 thread));
-//       ...                               //   0 for 1-thread/unpaired rows
+//         "scaling_efficiency": 0.93,     // ops(T) / (T * ops(1 thread));
+//                                         //   0 for 1-thread/unpaired rows
+//         "stats": {                      // the cache's own Stats() counters
+//           "requests": 200000,           //   (integers; omitted entirely
+//           "hits": 174000, ... } },      //   when the bench didn't capture)
+//       ...
 //     ]
 //   }
 //
@@ -34,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/cache_stats.h"
 #include "src/util/env.h"
 
 namespace qdlp {
@@ -46,7 +51,37 @@ struct BenchJsonResult {
   double bytes_per_object = 0.0;
   double hit_ratio = 0.0;
   double scaling_efficiency = 0.0;
+  // The cache's own telemetry (CacheObservable::Stats()), captured by the
+  // bench at teardown. Emitted as the "stats" block when has_stats is set.
+  CacheStats stats;
+  bool has_stats = false;
 };
+
+// The stats block's field list — one source of truth for the JSON writer,
+// the google-benchmark counter bridge ("stats_" + key, see
+// bench_json_reporter.h), and tools/bench_compare.py --check-stats.
+struct BenchStatsField {
+  const char* key;
+  uint64_t CacheStats::*member;
+};
+
+inline const std::vector<BenchStatsField>& BenchStatsFields() {
+  static const std::vector<BenchStatsField> fields = {
+      {"requests", &CacheStats::requests},
+      {"hits", &CacheStats::hits},
+      {"misses", &CacheStats::misses},
+      {"inserts", &CacheStats::inserts},
+      {"evictions", &CacheStats::evictions},
+      {"promotions", &CacheStats::promotions},
+      {"demotions", &CacheStats::demotions},
+      {"ghost_hits", &CacheStats::ghost_hits},
+      {"size", &CacheStats::size},
+      {"probation_size", &CacheStats::probation_size},
+      {"main_size", &CacheStats::main_size},
+      {"ghost_size", &CacheStats::ghost_size},
+  };
+  return fields;
+}
 
 inline std::string BenchJsonOutputPath() {
   return GetEnvString("QDLP_BENCH_JSON", "BENCH_throughput.json");
@@ -146,7 +181,21 @@ inline std::string BenchJsonToString(
            ",\n";
     out += "      \"hit_ratio\": " + BenchJsonNumber(r.hit_ratio) + ",\n";
     out += "      \"scaling_efficiency\": " +
-           BenchJsonNumber(r.scaling_efficiency) + " }";
+           BenchJsonNumber(r.scaling_efficiency);
+    if (r.has_stats) {
+      // Counters are exact integers; no BenchJsonNumber float formatting.
+      out += ",\n      \"stats\": { ";
+      const std::vector<BenchStatsField>& fields = BenchStatsFields();
+      for (size_t f = 0; f < fields.size(); ++f) {
+        if (f != 0) {
+          out += ", ";
+        }
+        out += "\"" + std::string(fields[f].key) +
+               "\": " + std::to_string(r.stats.*fields[f].member);
+      }
+      out += " }";
+    }
+    out += " }";
   }
   out += "\n  ]\n}\n";
   return out;

@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <functional>
+#include <iterator>
 #include <string>
 #include <utility>
 #include <vector>
@@ -47,9 +48,30 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
       if (bytes_it != run.counters.end()) {
         result.bytes_per_object = static_cast<double>(bytes_it->second);
       }
+      // Benches publish the cache's Stats() through "stats_<key>" counters
+      // (one per BenchStatsFields() entry); collect them into the typed
+      // stats block.
+      for (const BenchStatsField& field : BenchStatsFields()) {
+        const auto stat_it = run.counters.find(std::string("stats_") +
+                                               field.key);
+        if (stat_it != run.counters.end()) {
+          result.stats.*field.member =
+              static_cast<uint64_t>(static_cast<double>(stat_it->second));
+          result.has_stats = true;
+        }
+      }
       results_.push_back(std::move(result));
     }
-    ConsoleReporter::ReportRuns(reports);
+    // The stats_* bridge counters are JSON plumbing, not console content —
+    // a dozen extra columns per row would drown the table.
+    std::vector<Run> console = reports;
+    for (Run& run : console) {
+      for (auto it = run.counters.begin(); it != run.counters.end();) {
+        it = it->first.rfind("stats_", 0) == 0 ? run.counters.erase(it)
+                                               : std::next(it);
+      }
+    }
+    ConsoleReporter::ReportRuns(console);
   }
 
   std::vector<BenchJsonResult>& results() { return results_; }

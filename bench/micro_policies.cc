@@ -70,18 +70,22 @@ void RegisterAll() {
   }
 }
 
-// Steady-state metadata footprint: replay the bench trace once and divide
-// the policy's reported metadata bytes by its object capacity. 0 for
-// policies that don't implement ApproxMetadataBytes().
-double MeasureBytesPerObject(const std::string& name) {
+// Steady-state instrumentation: replay the bench trace once and record the
+// policy's metadata bytes per capacity slot (0 for policies that don't
+// implement ApproxMetadataBytes()) plus its full Stats() telemetry.
+void MeasureReplayInstrumentation(BenchJsonResult* result) {
   const Trace& trace = BenchTrace();
   constexpr size_t kCapacity = 10000;
-  auto policy = MakePolicy(name, kCapacity, &trace.requests);
+  auto policy = MakePolicy(result->policy, kCapacity, &trace.requests);
   for (const ObjectId id : trace.requests) {
     policy->Access(id);
   }
-  return static_cast<double>(policy->ApproxMetadataBytes()) /
-         static_cast<double>(kCapacity);
+  result->bytes_per_object =
+      static_cast<double>(policy->ApproxMetadataBytes()) /
+      static_cast<double>(kCapacity);
+  result->stats = policy->Stats();
+  result->has_stats = true;
+  result->hit_ratio = result->stats.hit_ratio();
 }
 
 }  // namespace
@@ -93,7 +97,7 @@ int main(int argc, char** argv) {
   qdlp::JsonCaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   for (qdlp::BenchJsonResult& result : reporter.results()) {
-    result.bytes_per_object = qdlp::MeasureBytesPerObject(result.policy);
+    qdlp::MeasureReplayInstrumentation(&result);
   }
   const std::string json_path = qdlp::BenchJsonOutputPath();
   if (qdlp::WriteBenchJson(json_path, "micro_policies", reporter.results())) {

@@ -73,6 +73,14 @@ void BM_ConcurrentGet(benchmark::State& state, double skew, Args... args) {
     state.counters["bytes_per_object"] = benchmark::Counter(
         static_cast<double>(cache->ApproxMetadataBytes()) /
         static_cast<double>(cache->capacity()));
+    // Publish the cache's own Stats() through the stats_* counter bridge
+    // (bench_json_reporter.h strips these from the console and emits the
+    // JSON "stats" block). Thread 0 only: one snapshot per run.
+    const CacheStats stats = cache->Stats();
+    for (const BenchStatsField& field : BenchStatsFields()) {
+      state.counters[std::string("stats_") + field.key] =
+          benchmark::Counter(static_cast<double>(stats.*field.member));
+    }
     cache.reset();
   }
 }

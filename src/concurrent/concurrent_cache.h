@@ -18,36 +18,49 @@
 //
 // Get() is get-or-admit: returns true on hit, and on miss admits the id
 // (evicting if needed), mirroring EvictionPolicy::Access.
+//
+// ConcurrentCache shares the CacheObservable surface (name/capacity/Stats/
+// ApproxMetadataBytes/CheckInvariants) with the sequential EvictionPolicy
+// hierarchy, so the bench JSON writer and the stats report consume one type.
+// Telemetry in the lock-free caches is kept in striped, cache-line-exclusive
+// relaxed atomics (src/obs/concurrent_counters.h); lock-based caches count
+// under the locks they already hold. There is deliberately NO AccessEventSink
+// on this hierarchy: a virtual call per event would poison the lock-free hit
+// path the paper's throughput argument rests on — Stats() snapshots are the
+// concurrent observability surface.
 
 #ifndef QDLP_SRC_CONCURRENT_CONCURRENT_CACHE_H_
 #define QDLP_SRC_CONCURRENT_CONCURRENT_CACHE_H_
 
 #include <cstddef>
 
+#include "src/obs/cache_observable.h"
 #include "src/trace/trace.h"
 
 namespace qdlp {
 
-class ConcurrentCache {
+class ConcurrentCache : public CacheObservable {
  public:
-  virtual ~ConcurrentCache() = default;
   // Returns true on hit; admits on miss. Thread-safe.
   virtual bool Get(ObjectId id) = 0;
-  virtual size_t capacity() const = 0;
-  virtual const char* name() const = 0;
 
-  // Validates internal invariants (index/queue consistency, occupancy
-  // accounting, ghost/resident disjointness) with QDLP_CHECK, aborting on
-  // violation. Takes the cache's locks, so it is safe to call concurrently
-  // with Get(), but it is O(size) and intended for tests — call it at
-  // quiescent points (e.g. after joining worker threads). Non-const because
-  // it acquires the same mutexes the operational paths use.
-  virtual void CheckInvariants() {}
+  // User-controlled removal (§2, Fig 1). Returns true if the object was
+  // resident and has been removed; thread-safe where supported. The default
+  // does nothing and returns false — check SupportsRemoval() and fall back
+  // to lazy invalidation for caches whose lock-free structures cannot
+  // reclaim slots mid-flight. Removals count as evictions in Stats().
+  virtual bool Remove(ObjectId id) {
+    (void)id;
+    return false;
+  }
+  virtual bool SupportsRemoval() const { return false; }
 
-  // Bytes of metadata held (indexes, ring slots, ghost entries, insert
-  // buffers) — the numerator for bytes/object in the bench JSON. 0 when a
-  // cache does not account for itself.
-  virtual size_t ApproxMetadataBytes() const { return 0; }
+  // CacheObservable reminders (see src/obs/cache_observable.h):
+  //  * Stats() must be safe to call concurrently with Get() — sum striped
+  //    atomics, take only cold locks for occupancy fields.
+  //  * CheckInvariants() takes the cache's locks, so it is safe to call
+  //    concurrently with Get(), but it is O(size) and intended for tests —
+  //    call it at quiescent points (e.g. after joining worker threads).
 };
 
 }  // namespace qdlp

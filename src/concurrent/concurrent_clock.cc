@@ -50,7 +50,14 @@ void ConcurrentClockCache::CheckInvariants() {
 
 size_t ConcurrentClockCache::ApproxMetadataBytes() const {
   return index_.MemoryBytes() + slots_.capacity() * sizeof(Slot) +
-         buffers_.MemoryBytes();
+         buffers_.MemoryBytes() + counters_.MemoryBytes();
+}
+
+CacheStats ConcurrentClockCache::Stats() const {
+  CacheStats stats = counters_.Snapshot();
+  std::lock_guard<std::mutex> eviction_lock(eviction_mu_);
+  stats.size = index_.size();
+  return stats;
 }
 
 bool ConcurrentClockCache::Get(ObjectId id) {
@@ -64,18 +71,26 @@ bool ConcurrentClockCache::Get(ObjectId id) {
       // a reference bit, never correctness.
       counter.store(current + 1, std::memory_order_relaxed);
     }
+    counters_.Add(ConcurrentStatsCounters::kHits);
     return true;
   }
-
   // Miss path. Uncontended (and always, single-threaded): take the lock,
   // drain any buffered misses, admit. Contended: buffer the id for the
   // current lock holder to admit and return without blocking; only when
-  // the buffer is full do we wait on the mutex.
+  // the buffer is full do we wait on the mutex. Hit/miss is counted where
+  // the outcome is known: the locked re-probe can discover the object was
+  // admitted by another thread (or an earlier buffered copy of this miss)
+  // after the lock-free probe above failed, and that Get is a hit to its
+  // caller.
   if (eviction_mu_.try_lock()) {
     std::lock_guard<std::mutex> eviction_lock(eviction_mu_, std::adopt_lock);
     DrainLocked();
-    return !AdmitLocked(id);
+    const bool hit = !AdmitLocked(id);
+    counters_.Add(hit ? ConcurrentStatsCounters::kHits
+                      : ConcurrentStatsCounters::kMisses);
+    return hit;
   }
+  counters_.Add(ConcurrentStatsCounters::kMisses);
   if (buffers_.TryPush(id)) {
     return false;
   }
@@ -106,6 +121,7 @@ bool ConcurrentClockCache::AdmitLocked(ObjectId id) {
   slot.counter.store(0, std::memory_order_relaxed);
   slot.occupied = true;
   index_.Insert(id, static_cast<uint32_t>(slot_index));
+  counters_.Add(ConcurrentStatsCounters::kInserts);
   return true;
 }
 
@@ -119,7 +135,9 @@ size_t ConcurrentClockCache::EvictOneLocked() {
     }
     const uint8_t counter = slot.counter.load(std::memory_order_relaxed);
     if (counter > 0) {
+      // Lazy promotion: the reinsertion lap, counted like sequential CLOCK.
       slot.counter.store(counter - 1, std::memory_order_relaxed);
+      counters_.Add(ConcurrentStatsCounters::kPromotions);
       continue;
     }
     // Erase from the index first: readers stop finding the victim before
@@ -127,6 +145,7 @@ size_t ConcurrentClockCache::EvictOneLocked() {
     // slot id at worst bumps the successor's counter once — benign.
     index_.Erase(slot.id);
     slot.occupied = false;
+    counters_.Add(ConcurrentStatsCounters::kEvictions);
     return current;
   }
 }

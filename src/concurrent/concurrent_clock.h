@@ -23,11 +23,13 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "src/concurrent/concurrent_cache.h"
 #include "src/concurrent/mpsc_ring.h"
 #include "src/concurrent/striped_index.h"
+#include "src/obs/concurrent_counters.h"
 
 namespace qdlp {
 
@@ -37,7 +39,12 @@ class ConcurrentClockCache : public ConcurrentCache {
 
   bool Get(ObjectId id) override;
   size_t capacity() const override { return capacity_; }
-  const char* name() const override { return "concurrent-clock"; }
+  std::string_view name() const override { return "concurrent-clock"; }
+
+  // Flow counters come from striped thread-exclusive cells (lock-free to
+  // read); the occupancy field reads the index size under eviction_mu_, the
+  // only way to observe it race-free. Safe concurrently with Get().
+  CacheStats Stats() const override;
 
   // Slot/index agreement and occupancy accounting under eviction_mu_.
   void CheckInvariants() override;
@@ -72,8 +79,9 @@ class ConcurrentClockCache : public ConcurrentCache {
   // eviction hand's churn never invalidates the hit path's lines.
   alignas(64) std::atomic<size_t> used_{0};  // bump allocator over slots_
   alignas(64) size_t hand_ = 0;              // guarded by eviction_mu_
-  alignas(64) std::mutex eviction_mu_;
+  alignas(64) mutable std::mutex eviction_mu_;
   InsertBuffers buffers_;
+  ConcurrentStatsCounters counters_;
 };
 
 }  // namespace qdlp

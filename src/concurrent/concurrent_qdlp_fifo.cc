@@ -82,7 +82,18 @@ size_t ConcurrentQdLpFifo::ApproxMetadataBytes() const {
   return index_.MemoryBytes() +
          probation_.capacity() * sizeof(ProbationSlot) +
          main_.capacity() * sizeof(MainSlot) + ghost_.ApproxMetadataBytes() +
-         buffers_.MemoryBytes();
+         buffers_.MemoryBytes() + counters_.MemoryBytes();
+}
+
+CacheStats ConcurrentQdLpFifo::Stats() const {
+  CacheStats stats = counters_.Snapshot();
+  std::lock_guard<std::mutex> eviction_lock(eviction_mu_);
+  const size_t resident = resident_.load(std::memory_order_relaxed);
+  stats.size = resident;
+  stats.probation_size = probation_count_;
+  stats.main_size = resident - probation_count_;
+  stats.ghost_size = ghost_.live_size();
+  return stats;
 }
 
 bool ConcurrentQdLpFifo::Get(ObjectId id) {
@@ -102,15 +113,22 @@ bool ConcurrentQdLpFifo::Get(ObjectId id) {
       // promotion candidate, never a correctness issue.
       probation_[value].accessed.store(1, std::memory_order_relaxed);
     }
+    counters_.Add(ConcurrentStatsCounters::kHits);
     return true;
   }
-
   // Miss path: batched BP-Wrapper admission, identical to concurrent_clock.
+  // Counted where the outcome is known: the locked re-probe can find the
+  // object already admitted by another thread (or an earlier buffered copy
+  // of this miss), and that Get is a hit to its caller.
   if (eviction_mu_.try_lock()) {
     std::lock_guard<std::mutex> eviction_lock(eviction_mu_, std::adopt_lock);
     DrainLocked();
-    return MissLocked(id);
+    const bool hit = MissLocked(id);
+    counters_.Add(hit ? ConcurrentStatsCounters::kHits
+                      : ConcurrentStatsCounters::kMisses);
+    return hit;
   }
+  counters_.Add(ConcurrentStatsCounters::kMisses);
   if (buffers_.TryPush(id)) {
     return false;
   }
@@ -130,12 +148,15 @@ bool ConcurrentQdLpFifo::MissLocked(ObjectId id) {
   }
   if (ghost_.Consume(id)) {
     // Quick-demoted once already: admit straight into the main cache.
+    counters_.Add(ConcurrentStatsCounters::kGhostHits);
     MainInsert(id);
     resident_.fetch_add(1, std::memory_order_relaxed);
+    counters_.Add(ConcurrentStatsCounters::kInserts);
     return false;
   }
   AdmitToProbation(id);
   resident_.fetch_add(1, std::memory_order_relaxed);
+  counters_.Add(ConcurrentStatsCounters::kInserts);
   return false;
 }
 
@@ -165,11 +186,14 @@ void ConcurrentQdLpFifo::EvictFromProbation() {
   index_.Erase(victim);
   if (accessed) {
     // Lazy promotion: re-accessed while on probation -> main cache.
+    counters_.Add(ConcurrentStatsCounters::kPromotions);
     MainInsert(victim);
   } else {
     // Quick demotion: one lap through the small FIFO was its only chance.
     ghost_.Insert(victim);
     resident_.fetch_sub(1, std::memory_order_relaxed);
+    counters_.Add(ConcurrentStatsCounters::kDemotions);
+    counters_.Add(ConcurrentStatsCounters::kEvictions);
   }
 }
 
@@ -205,6 +229,7 @@ size_t ConcurrentQdLpFifo::MainEvictOneLocked() {
     index_.Erase(slot.id);
     slot.occupied = false;
     resident_.fetch_sub(1, std::memory_order_relaxed);
+    counters_.Add(ConcurrentStatsCounters::kEvictions);
     return current;
   }
 }

@@ -27,12 +27,14 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "src/concurrent/concurrent_cache.h"
 #include "src/concurrent/mpsc_ring.h"
 #include "src/concurrent/sharded_ghost.h"
 #include "src/concurrent/striped_index.h"
+#include "src/obs/concurrent_counters.h"
 
 namespace qdlp {
 
@@ -45,10 +47,16 @@ class ConcurrentQdLpFifo : public ConcurrentCache {
 
   bool Get(ObjectId id) override;
   size_t capacity() const override { return capacity_; }
-  const char* name() const override { return "concurrent-qdlp-fifo"; }
+  std::string_view name() const override { return "concurrent-qdlp-fifo"; }
 
   // Resident object count (approximate under concurrency).
   size_t size() const { return resident_.load(std::memory_order_relaxed); }
+
+  // Flow counters from striped thread-exclusive cells; per-region occupancy
+  // (probation/main/ghost) read under eviction_mu_. promotions counts
+  // probation->main lazy promotions and demotions probation->ghost quick
+  // demotions (main CLOCK laps are internal, as in the sequential QdCache).
+  CacheStats Stats() const override;
 
   size_t probation_capacity() const { return probation_capacity_; }
   size_t main_capacity() const { return main_capacity_; }
@@ -104,13 +112,14 @@ class ConcurrentQdLpFifo : public ConcurrentCache {
 
   // Miss-path state, padded off the hit path's cache lines.
   alignas(64) std::atomic<size_t> resident_{0};
-  alignas(64) std::mutex eviction_mu_;
+  alignas(64) mutable std::mutex eviction_mu_;
   size_t probation_head_ = 0;   // oldest entry's ring position
   size_t probation_count_ = 0;
   size_t main_used_ = 0;        // bump allocator over main_
   size_t main_hand_ = 0;
   ShardedGhost ghost_;
   InsertBuffers buffers_;
+  ConcurrentStatsCounters counters_;
 };
 
 }  // namespace qdlp

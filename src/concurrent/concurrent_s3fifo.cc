@@ -73,7 +73,18 @@ void ConcurrentS3FifoCache::CheckInvariants() {
 
 size_t ConcurrentS3FifoCache::ApproxMetadataBytes() const {
   return index_.MemoryBytes() + slab_.capacity() * sizeof(Node) +
-         ghost_.ApproxMetadataBytes() + buffers_.MemoryBytes();
+         ghost_.ApproxMetadataBytes() + buffers_.MemoryBytes() +
+         counters_.MemoryBytes();
+}
+
+CacheStats ConcurrentS3FifoCache::Stats() const {
+  CacheStats stats = counters_.Snapshot();
+  std::lock_guard<std::mutex> eviction_lock(eviction_mu_);
+  stats.probation_size = small_fifo_.count;
+  stats.main_size = main_fifo_.count;
+  stats.ghost_size = ghost_.live_size();
+  stats.size = small_fifo_.count + main_fifo_.count;
+  return stats;
 }
 
 void ConcurrentS3FifoCache::PushBack(Fifo& fifo, uint32_t slot) {
@@ -122,6 +133,7 @@ void ConcurrentS3FifoCache::EvictSmall() {
     node.where = Where::kMain;
     node.freq.store(0, std::memory_order_relaxed);
     PushBack(main_fifo_, slot);
+    counters_.Add(ConcurrentStatsCounters::kPromotions);
     return;
   }
   const ObjectId victim = node.id;
@@ -132,6 +144,8 @@ void ConcurrentS3FifoCache::EvictSmall() {
   ghost_.Insert(victim);
   FreeSlot(slot);
   resident_.fetch_sub(1, std::memory_order_relaxed);
+  counters_.Add(ConcurrentStatsCounters::kDemotions);
+  counters_.Add(ConcurrentStatsCounters::kEvictions);
 }
 
 void ConcurrentS3FifoCache::EvictMain() {
@@ -142,11 +156,13 @@ void ConcurrentS3FifoCache::EvictMain() {
     if (freq > 0) {
       node.freq.store(freq - 1, std::memory_order_relaxed);
       PushBack(main_fifo_, slot);
+      counters_.Add(ConcurrentStatsCounters::kPromotions);
       continue;
     }
     index_.Erase(node.id);
     FreeSlot(slot);
     resident_.fetch_sub(1, std::memory_order_relaxed);
+    counters_.Add(ConcurrentStatsCounters::kEvictions);
     return;
   }
 }
@@ -174,12 +190,14 @@ bool ConcurrentS3FifoCache::MissLocked(ObjectId id) {
   if (ghost_.Consume(id)) {
     node.where = Where::kMain;
     PushBack(main_fifo_, slot);
+    counters_.Add(ConcurrentStatsCounters::kGhostHits);
   } else {
     node.where = Where::kSmall;
     PushBack(small_fifo_, slot);
   }
   resident_.fetch_add(1, std::memory_order_relaxed);
   index_.Insert(id, slot);
+  counters_.Add(ConcurrentStatsCounters::kInserts);
   return false;
 }
 
@@ -196,15 +214,22 @@ bool ConcurrentS3FifoCache::Get(ObjectId id) {
     if (current < kMaxFreq) {
       freq.store(current + 1, std::memory_order_relaxed);
     }
+    counters_.Add(ConcurrentStatsCounters::kHits);
     return true;
   }
-
   // Miss path: batched BP-Wrapper admission, identical to concurrent_clock.
+  // Counted where the outcome is known: the locked re-probe can find the
+  // object already admitted by another thread (or an earlier buffered copy
+  // of this miss), and that Get is a hit to its caller.
   if (eviction_mu_.try_lock()) {
     std::lock_guard<std::mutex> eviction_lock(eviction_mu_, std::adopt_lock);
     DrainLocked();
-    return MissLocked(id);
+    const bool hit = MissLocked(id);
+    counters_.Add(hit ? ConcurrentStatsCounters::kHits
+                      : ConcurrentStatsCounters::kMisses);
+    return hit;
   }
+  counters_.Add(ConcurrentStatsCounters::kMisses);
   if (buffers_.TryPush(id)) {
     return false;
   }

@@ -24,12 +24,14 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "src/concurrent/concurrent_cache.h"
 #include "src/concurrent/mpsc_ring.h"
 #include "src/concurrent/sharded_ghost.h"
 #include "src/concurrent/striped_index.h"
+#include "src/obs/concurrent_counters.h"
 
 namespace qdlp {
 
@@ -40,10 +42,15 @@ class ConcurrentS3FifoCache : public ConcurrentCache {
 
   bool Get(ObjectId id) override;
   size_t capacity() const override { return capacity_; }
-  const char* name() const override { return "concurrent-s3fifo"; }
+  std::string_view name() const override { return "concurrent-s3fifo"; }
 
   // Resident object count (approximate under concurrency).
   size_t size() const { return resident_.load(std::memory_order_relaxed); }
+
+  // Flow counters from striped thread-exclusive cells; per-queue occupancy
+  // (small/main/ghost) read under eviction_mu_. Safe concurrently with
+  // Get().
+  CacheStats Stats() const override;
 
   // Queue accounting, index/slab agreement, and ghost/resident
   // disjointness, under eviction_mu_ (buffered misses drained first).
@@ -95,13 +102,14 @@ class ConcurrentS3FifoCache : public ConcurrentCache {
 
   // Miss-path state, padded off the hit path's cache lines.
   alignas(64) std::atomic<size_t> resident_{0};
-  alignas(64) std::mutex eviction_mu_;
+  alignas(64) mutable std::mutex eviction_mu_;
   Fifo small_fifo_;
   Fifo main_fifo_;
   uint32_t free_head_ = kNil;   // freelist of recycled slab slots
   size_t slab_used_ = 0;        // bump allocator high-water mark
   ShardedGhost ghost_;
   InsertBuffers buffers_;
+  ConcurrentStatsCounters counters_;
 };
 
 }  // namespace qdlp

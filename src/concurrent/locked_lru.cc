@@ -13,6 +13,9 @@ void GlobalLockLruCache::CheckInvariants() {
     QDLP_CHECK(entry != index_.end());
     QDLP_CHECK(entry->second == it);
   }
+  QDLP_CHECK(counters_.inserts <= counters_.misses);
+  QDLP_CHECK(counters_.inserts >= counters_.evictions);
+  QDLP_CHECK(counters_.inserts - counters_.evictions == index_.size());
 }
 
 GlobalLockLruCache::GlobalLockLruCache(size_t capacity) : capacity_(capacity) {
@@ -29,22 +32,49 @@ size_t GlobalLockLruCache::ApproxMetadataBytes() const {
          index_.bucket_count() * sizeof(void*);
 }
 
+CacheStats GlobalLockLruCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats stats = counters_;
+  stats.requests = counters_.hits + counters_.misses;
+  stats.promotions = counters_.hits;
+  stats.size = index_.size();
+  return stats;
+}
+
 bool GlobalLockLruCache::Get(ObjectId id) {
   std::lock_guard<std::mutex> lock(mu_);
+  // requests == hits + misses and promotions == hits (eager promotion) are
+  // identities, derived in Stats() rather than stored per Get.
   const auto it = index_.find(id);
   if (it != index_.end()) {
     // Eager promotion: the six-pointer splice the paper counts against LRU.
     mru_list_.splice(mru_list_.begin(), mru_list_, it->second);
+    ++counters_.hits;
     return true;
   }
+  ++counters_.misses;
   if (index_.size() == capacity_) {
     const ObjectId victim = mru_list_.back();
     mru_list_.pop_back();
     index_.erase(victim);
+    ++counters_.evictions;
   }
   mru_list_.push_front(id);
   index_[id] = mru_list_.begin();
+  ++counters_.inserts;
   return false;
+}
+
+bool GlobalLockLruCache::Remove(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    return false;
+  }
+  mru_list_.erase(it->second);
+  index_.erase(it);
+  ++counters_.evictions;
+  return true;
 }
 
 }  // namespace qdlp

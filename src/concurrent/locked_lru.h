@@ -6,6 +6,7 @@
 
 #include <list>
 #include <mutex>
+#include <string_view>
 #include <unordered_map>
 
 #include "src/concurrent/concurrent_cache.h"
@@ -18,7 +19,15 @@ class GlobalLockLruCache : public ConcurrentCache {
 
   bool Get(ObjectId id) override;
   size_t capacity() const override { return capacity_; }
-  const char* name() const override { return "global-lock-lru"; }
+  std::string_view name() const override { return "global-lock-lru"; }
+
+  bool Remove(ObjectId id) override;
+  bool SupportsRemoval() const override { return true; }
+
+  // Every operation already runs under the global lock, so telemetry is
+  // plain counters guarded by it; Stats() takes the same lock and is
+  // therefore exact (no torn cross-counter relations).
+  CacheStats Stats() const override;
 
   // List/index agreement and capacity accounting under the global lock.
   void CheckInvariants() override;
@@ -30,6 +39,7 @@ class GlobalLockLruCache : public ConcurrentCache {
   mutable std::mutex mu_;
   std::list<ObjectId> mru_list_;
   std::unordered_map<ObjectId, std::list<ObjectId>::iterator> index_;
+  CacheStats counters_;  // flow counters only; guarded by mu_
 };
 
 }  // namespace qdlp

@@ -29,6 +29,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/util/thread_ordinal.h"
+
 #include "src/util/check.h"
 
 namespace qdlp {
@@ -99,13 +101,6 @@ class MpscRing {
   alignas(64) std::atomic<uint64_t> tail_{0};  // producers
   alignas(64) uint64_t head_ = 0;              // consumer (serialized)
 };
-
-// Process-wide dense thread ordinal, used to stripe threads across rings.
-inline uint32_t ThreadOrdinal() {
-  static std::atomic<uint32_t> next{0};
-  thread_local uint32_t ordinal = next.fetch_add(1, std::memory_order_relaxed);
-  return ordinal;
-}
 
 // A bank of MPSC rings, one per thread stripe, padded apart by the rings'
 // own alignas(64) head/tail fields.

@@ -40,6 +40,10 @@ void ShardedLruCache::CheckInvariants() {
       // Ids hash to the shard that stores them.
       QDLP_CHECK(&ShardFor(*it) == shard.get());
     }
+    const CacheStats& c = shard->counters;
+    QDLP_CHECK(c.inserts <= c.misses);
+    QDLP_CHECK(c.inserts >= c.evictions);
+    QDLP_CHECK(c.inserts - c.evictions == shard->index.size());
   }
   QDLP_CHECK(total_capacity == capacity_);
 }
@@ -61,26 +65,65 @@ size_t ShardedLruCache::ApproxMetadataBytes() const {
   return bytes;
 }
 
+CacheStats ShardedLruCache::Stats() const {
+  CacheStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const CacheStats& c = shard->counters;
+    stats.hits += c.hits;
+    stats.misses += c.misses;
+    stats.inserts += c.inserts;
+    stats.evictions += c.evictions;
+    stats.size += shard->index.size();
+  }
+  stats.requests = stats.hits + stats.misses;
+  stats.promotions = stats.hits;
+  return stats;
+}
+
 ShardedLruCache::Shard& ShardedLruCache::ShardFor(ObjectId id) {
+  return *shards_[SplitMix64(id) % shards_.size()];
+}
+
+const ShardedLruCache::Shard& ShardedLruCache::ShardFor(ObjectId id) const {
   return *shards_[SplitMix64(id) % shards_.size()];
 }
 
 bool ShardedLruCache::Get(ObjectId id) {
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
+  // requests == hits + misses and promotions == hits (eager promotion) are
+  // identities, derived in Stats() rather than stored per Get.
   const auto it = shard.index.find(id);
   if (it != shard.index.end()) {
     shard.mru_list.splice(shard.mru_list.begin(), shard.mru_list, it->second);
+    ++shard.counters.hits;
     return true;
   }
+  ++shard.counters.misses;
   if (shard.index.size() >= shard.capacity) {
     const ObjectId victim = shard.mru_list.back();
     shard.mru_list.pop_back();
     shard.index.erase(victim);
+    ++shard.counters.evictions;
   }
   shard.mru_list.push_front(id);
   shard.index[id] = shard.mru_list.begin();
+  ++shard.counters.inserts;
   return false;
+}
+
+bool ShardedLruCache::Remove(ObjectId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(id);
+  if (it == shard.index.end()) {
+    return false;
+  }
+  shard.mru_list.erase(it->second);
+  shard.index.erase(it);
+  ++shard.counters.evictions;
+  return true;
 }
 
 }  // namespace qdlp

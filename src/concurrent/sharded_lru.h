@@ -8,6 +8,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -21,7 +22,17 @@ class ShardedLruCache : public ConcurrentCache {
 
   bool Get(ObjectId id) override;
   size_t capacity() const override { return capacity_; }
-  const char* name() const override { return "sharded-lru"; }
+  std::string_view name() const override { return "sharded-lru"; }
+
+  // Removal locks only the owning shard, like Get().
+  bool Remove(ObjectId id) override;
+  bool SupportsRemoval() const override { return true; }
+
+  // Telemetry is per-shard counters guarded by the shard locks the
+  // operations already hold (no cross-shard contention added); Stats()
+  // sums them shard by shard, so cross-counter relations are exact only at
+  // quiescent points.
+  CacheStats Stats() const override;
 
   // Per-shard list/index agreement and capacity accounting.
   void CheckInvariants() override;
@@ -34,9 +45,11 @@ class ShardedLruCache : public ConcurrentCache {
     size_t capacity = 0;
     std::list<ObjectId> mru_list;
     std::unordered_map<ObjectId, std::list<ObjectId>::iterator> index;
+    CacheStats counters;  // flow counters only; guarded by mu
   };
 
   Shard& ShardFor(ObjectId id);
+  const Shard& ShardFor(ObjectId id) const;
 
   const size_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -47,18 +47,19 @@ struct QdOptions {
 
 namespace internal {
 
-// Forwards main-cache evictions to the wrapper's listener so that residency
-// accounting spans the whole composed cache. Inserts are ignored: the
-// wrapper reports an object's insertion when it first takes cache space
-// (probation entry or ghost-path admission), and a promotion from probation
-// into main is not a new insertion.
-class MainEvictionForwarder : public EvictionListener {
+// Forwards main-cache evictions to the wrapper so that eviction counting
+// and residency accounting span the whole composed cache. Every other main
+// event is swallowed: the wrapper reports an object's insertion when it
+// first takes cache space (probation entry or ghost-path admission), a
+// promotion from probation into main is not a new insertion, and the main
+// policy's internal promotions (e.g. CLOCK reinsertion) are visible in its
+// own Stats(), not the wrapper's probation->main flow.
+class MainEvictionForwarder : public AccessEventSink {
  public:
   using Callback = std::function<void(ObjectId)>;
   explicit MainEvictionForwarder(Callback on_evict)
       : on_evict_(std::move(on_evict)) {}
 
-  void OnInsert(ObjectId, uint64_t) override {}
   void OnEvict(ObjectId id, uint64_t) override { on_evict_(id); }
 
  private:
@@ -78,7 +79,8 @@ class BasicQdCache : public EvictionPolicy {
                const QdOptions& options = {}, IndexFactory factory = {})
       : EvictionPolicy(
             probation_capacity + main->capacity(),
-            options.name.empty() ? "qd-" + main->name() : options.name),
+            options.name.empty() ? "qd-" + std::string(main->name())
+                                 : options.name),
         probation_capacity_(probation_capacity),
         main_(std::move(main)),
         ghost_(std::max<size_t>(
@@ -92,7 +94,7 @@ class BasicQdCache : public EvictionPolicy {
     probation_index_.Reserve(probation_capacity_);
     main_forwarder_ = std::make_unique<internal::MainEvictionForwarder>(
         [this](ObjectId id) { NotifyEvict(id); });
-    main_->set_eviction_listener(main_forwarder_.get());
+    main_->set_event_sink(main_forwarder_.get());
   }
 
   size_t size() const override {
@@ -114,10 +116,12 @@ class BasicQdCache : public EvictionPolicy {
   const EvictionPolicy& main() const { return *main_; }
   const BasicGhostQueue<IndexFactory>& ghost() const { return ghost_; }
 
-  // Counters for analysis/ablation.
-  uint64_t promotions() const { return promotions_; }
-  uint64_t quick_demotions() const { return quick_demotions_; }
-  uint64_t ghost_admissions() const { return ghost_admissions_; }
+  // Flow counters for analysis/ablation, aliasing the Stats() snapshot:
+  // probation->main lazy promotions, probation->ghost quick demotions, and
+  // ghost-hit readmissions into main.
+  uint64_t promotions() const { return counters().promotions; }
+  uint64_t quick_demotions() const { return counters().demotions; }
+  uint64_t ghost_admissions() const { return counters().ghost_hits; }
 
   // Probation FIFO/index consistency, probation/main/ghost disjointness,
   // and capacity accounting for all three regions. Recurses into the main
@@ -162,13 +166,19 @@ class BasicQdCache : public EvictionPolicy {
       return main_->Access(id);
     }
     if (ghost_.Consume(id)) {
-      ++ghost_admissions_;
+      NotifyGhostHit(id);
       main_->Access(id);
       NotifyInsert(id);
       return false;
     }
     AdmitToProbation(id);
     return false;
+  }
+
+  void FillOccupancy(CacheStats& stats) const override {
+    stats.probation_size = probation_index_.size();
+    stats.main_size = main_->size();
+    stats.ghost_size = ghost_.size();
   }
 
  private:
@@ -199,11 +209,11 @@ class BasicQdCache : public EvictionPolicy {
     probation_index_.Erase(victim);
     if (accessed) {
       // Lazy promotion: re-accessed while on probation -> main cache.
-      ++promotions_;
+      NotifyPromote(victim);
       main_->Access(victim);
     } else {
       // Quick demotion: one lap through the small FIFO was its only chance.
-      ++quick_demotions_;
+      NotifyDemote(victim);
       ghost_.Insert(victim);
       NotifyEvict(victim);
     }
@@ -212,15 +222,11 @@ class BasicQdCache : public EvictionPolicy {
   size_t probation_capacity_;
   std::unique_ptr<EvictionPolicy> main_;
   BasicGhostQueue<IndexFactory> ghost_;
-  // Forwards main-cache evictions into this wrapper's listener.
-  std::unique_ptr<EvictionListener> main_forwarder_;
+  // Forwards main-cache evictions into this wrapper's counters/sink.
+  std::unique_ptr<AccessEventSink> main_forwarder_;
 
   IntrusiveList<ObjectId> probation_fifo_;  // front = oldest
   typename IndexFactory::template Index<ProbationEntry> probation_index_;
-
-  uint64_t promotions_ = 0;
-  uint64_t quick_demotions_ = 0;
-  uint64_t ghost_admissions_ = 0;
 };
 
 using QdCache = BasicQdCache<FlatIndexFactory>;

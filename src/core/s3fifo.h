@@ -105,11 +105,18 @@ class BasicS3FifoPolicy : public EvictionPolicy {
     }
     MakeRoom();
     if (ghost_.Consume(id)) {
+      NotifyGhostHit(id);
       InsertMain(id);
     } else {
       InsertSmall(id);
     }
     return false;
+  }
+
+  void FillOccupancy(CacheStats& stats) const override {
+    stats.probation_size = small_fifo_.size();
+    stats.main_size = main_fifo_.size();
+    stats.ghost_size = ghost_.size();
   }
 
  private:
@@ -147,9 +154,11 @@ class BasicS3FifoPolicy : public EvictionPolicy {
       entry->slot = main_fifo_.PushBack(victim);
       entry->where = Where::kMain;
       entry->freq = 0;
+      NotifyPromote(victim);
     } else {
       index_.Erase(victim);
       ghost_.Insert(victim);
+      NotifyDemote(victim);
       NotifyEvict(victim);
     }
   }
@@ -165,6 +174,7 @@ class BasicS3FifoPolicy : public EvictionPolicy {
         // Lazy promotion: demonstrated reuse buys another lap at freq - 1.
         --entry->freq;
         main_fifo_.MoveToBack(candidate_slot);
+        NotifyPromote(candidate);
         continue;
       }
       main_fifo_.Erase(candidate_slot);

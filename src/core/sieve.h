@@ -94,7 +94,10 @@ class BasicSievePolicy : public EvictionPolicy {
       hand_ = queue_.back();
     }
     while (queue_[hand_].visited) {
+      // Lazy promotion, SIEVE-style: the survivor keeps its position and
+      // only its visited bit is cleared as the hand walks past.
       queue_[hand_].visited = false;
+      NotifyPromote(queue_[hand_].id);
       if (hand_ == queue_.front()) {
         hand_ = queue_.back();  // wrap: head -> tail
       } else {

@@ -9,7 +9,7 @@ TtlCache::TtlCache(std::unique_ptr<EvictionPolicy> inner,
   QDLP_CHECK(inner_ != nullptr);
   QDLP_CHECK(max_expirations_per_access >= 0);
   reaper_ = std::make_unique<ExpiryReaper>(this);
-  inner_->set_eviction_listener(reaper_.get());
+  inner_->set_event_sink(reaper_.get());
 }
 
 void TtlCache::DrainExpired() {

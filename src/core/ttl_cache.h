@@ -44,10 +44,9 @@ class TtlCache {
  private:
   // Erases freshness metadata when the inner policy evicts, so `expiry_`
   // tracks only resident objects.
-  class ExpiryReaper : public EvictionListener {
+  class ExpiryReaper : public AccessEventSink {
    public:
     explicit ExpiryReaper(TtlCache* owner) : owner_(owner) {}
-    void OnInsert(ObjectId, uint64_t) override {}
     void OnEvict(ObjectId id, uint64_t) override { owner_->expiry_.erase(id); }
 
    private:

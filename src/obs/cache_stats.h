@@ -1,0 +1,81 @@
+// CacheStats — the one observational vocabulary every cache in the repo
+// speaks, serial or concurrent.
+//
+// Production caches live or die by cheap, always-on telemetry (Caffeine's
+// stats surface popularized this for W-TinyLFU), and the paper's own QD
+// mechanism (§4) is invisible at runtime without it: whether a workload is
+// being served by the probationary FIFO, resurrected through the ghost, or
+// churning the main region is exactly the probation→main promotion rate and
+// ghost-hit rate this struct exposes. Counters are populated by plain
+// uint64_t increments in the sequential policies (EvictionPolicy) and by
+// cache-line-padded relaxed atomics in the concurrent caches
+// (concurrent_counters.h); Stats() on either hierarchy returns a coherent
+// snapshot as this plain value type.
+
+#ifndef QDLP_SRC_OBS_CACHE_STATS_H_
+#define QDLP_SRC_OBS_CACHE_STATS_H_
+
+#include <cstdint>
+
+namespace qdlp {
+
+struct CacheStats {
+  // Flow counters, monotone over a cache's lifetime.
+  uint64_t requests = 0;    // accesses observed (== hits + misses)
+  uint64_t hits = 0;        // requests served from cache space
+  uint64_t misses = 0;      // requests that were not (ghost hits included)
+  uint64_t inserts = 0;     // admissions into cache space
+  uint64_t evictions = 0;   // departures from cache space (user removals too)
+  uint64_t promotions = 0;  // lazy promotions / reinsertions (probation→main,
+                            //   CLOCK second chances, LRU move-to-front)
+  uint64_t demotions = 0;   // quick demotions (probation→ghost)
+  uint64_t ghost_hits = 0;  // misses whose id was remembered by a ghost
+
+  // Occupancy snapshot, taken at Stats() time. The per-queue fields are 0
+  // for policies without the corresponding region.
+  uint64_t size = 0;            // objects currently holding cache space
+  uint64_t probation_size = 0;  // small/probationary queue occupancy
+  uint64_t main_size = 0;       // main region occupancy
+  uint64_t ghost_size = 0;      // ghost (metadata-only) entries
+
+  // Flow counters over the window since `before` was snapped (occupancy
+  // fields stay as this snapshot's — occupancy is a level, not a flow).
+  CacheStats DeltaSince(const CacheStats& before) const {
+    CacheStats delta = *this;
+    delta.requests -= before.requests;
+    delta.hits -= before.hits;
+    delta.misses -= before.misses;
+    delta.inserts -= before.inserts;
+    delta.evictions -= before.evictions;
+    delta.promotions -= before.promotions;
+    delta.demotions -= before.demotions;
+    delta.ghost_hits -= before.ghost_hits;
+    return delta;
+  }
+
+  double hit_ratio() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(requests);
+  }
+  double miss_ratio() const { return requests == 0 ? 0.0 : 1.0 - hit_ratio(); }
+  // Fraction of misses that were ghost resurrections — how often quick
+  // demotion threw away an object the workload still wanted.
+  double ghost_hit_ratio() const {
+    return misses == 0 ? 0.0
+                       : static_cast<double>(ghost_hits) /
+                             static_cast<double>(misses);
+  }
+  // Of the objects that left probation, the fraction that had proven reuse
+  // and were promoted into the main region (the paper's §4 flow).
+  double promotion_rate() const {
+    const uint64_t departures = promotions + demotions;
+    return departures == 0 ? 0.0
+                           : static_cast<double>(promotions) /
+                                 static_cast<double>(departures);
+  }
+};
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_OBS_CACHE_STATS_H_

@@ -99,10 +99,12 @@ void ArcPolicy::Replace(bool requested_in_b2) {
        (requested_in_b2 && static_cast<double>(t1_size) == p_))) {
     // Demote the LRU of T1 into ghost B1.
     const ObjectId victim = t1_.back();
+    NotifyDemote(victim);
     NotifyEvict(victim);
     MoveTo(victim, ListId::kB1);
   } else {
     const ObjectId victim = t2_.back();
+    NotifyDemote(victim);
     NotifyEvict(victim);
     MoveTo(victim, ListId::kB2);
   }
@@ -117,6 +119,7 @@ bool ArcPolicy::OnAccess(ObjectId id) {
       case ListId::kT2:
         // Case I: hit — promote to the MRU of T2.
         MoveTo(id, ListId::kT2);
+        NotifyPromote(id);
         return true;
       case ListId::kB1: {
         // Case II: ghost hit in B1 — grow the recency target.
@@ -127,6 +130,7 @@ bool ArcPolicy::OnAccess(ObjectId id) {
         if (adaptive_) {
           p_ = std::min(p_ + delta * adaptation_rate_, static_cast<double>(c));
         }
+        NotifyGhostHit(id);
         Replace(/*requested_in_b2=*/false);
         MoveTo(id, ListId::kT2);
         NotifyInsert(id);
@@ -141,6 +145,7 @@ bool ArcPolicy::OnAccess(ObjectId id) {
         if (adaptive_) {
           p_ = std::max(p_ - delta * adaptation_rate_, 0.0);
         }
+        NotifyGhostHit(id);
         Replace(/*requested_in_b2=*/true);
         MoveTo(id, ListId::kT2);
         NotifyInsert(id);

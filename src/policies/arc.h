@@ -45,6 +45,11 @@ class ArcPolicy : public EvictionPolicy {
 
  protected:
   bool OnAccess(ObjectId id) override;
+  void FillOccupancy(CacheStats& stats) const override {
+    stats.probation_size = t1_.size();
+    stats.main_size = t2_.size();
+    stats.ghost_size = b1_.size() + b2_.size();
+  }
 
  private:
   enum class ListId { kT1, kT2, kB1, kB2 };

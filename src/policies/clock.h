@@ -162,7 +162,10 @@ class BasicClockPolicy : public EvictionPolicy {
         NotifyEvict(slot.id);
         return hand_;
       }
+      // Lazy promotion: a non-zero counter buys another lap (reinsertion);
+      // promotions in Stats() counts these hand skips, not hits.
       --slot.counter;
+      NotifyPromote(slot.id);
       hand_ = (hand_ + 1) % ring_.size();
     }
   }

@@ -110,6 +110,7 @@ void ClockProPolicy::RunHandHot() {
     if (it->second.reference) {
       it->second.reference = false;  // second chance
       hot_queue_.push_back(head);
+      NotifyPromote(head);
       continue;
     }
     // Demote to cold; it starts a fresh test period at the cold tail.
@@ -117,6 +118,7 @@ void ClockProPolicy::RunHandHot() {
     --hot_count_;
     ++cold_count_;
     cold_queue_.push_back(head);
+    NotifyDemote(head);
   }
 }
 
@@ -134,12 +136,14 @@ void ClockProPolicy::RunHandCold() {
       if (it->second.reference) {
         it->second.reference = false;
         hot_queue_.push_back(head);
+        NotifyPromote(head);
         continue;
       }
       it->second.state = State::kCold;
       --hot_count_;
       ++cold_count_;
       cold_queue_.push_back(head);
+      NotifyDemote(head);
       continue;
     }
     QDLP_DCHECK(!cold_queue_.empty());
@@ -157,6 +161,7 @@ void ClockProPolicy::RunHandCold() {
       --cold_count_;
       ++hot_count_;
       hot_queue_.push_back(head);
+      NotifyPromote(head);
       GrowColdTarget();
       RunHandHot();
       continue;
@@ -186,6 +191,7 @@ bool ClockProPolicy::OnAccess(ObjectId id) {
   if (test_hit) {
     // Re-accessed during its (non-resident) test period: reuse distance
     // beats the coldest hot page — admit hot, and reward cold pages.
+    NotifyGhostHit(id);
     GrowColdTarget();
     AdmitHot(id);
     RunHandHot();

@@ -6,10 +6,16 @@
 // policy consumes a request stream one object id at a time and reports
 // hit/miss; everything else (ordering, ghosts, adaptation) is internal.
 //
-// Policies advance a logical clock by one per access. An optional
-// EvictionListener observes admissions and evictions with their timestamps;
-// the simulator uses it to compute the per-object resource consumption of
-// Fig. 3 ((t_evicted - t_inserted) / cache_size per residency).
+// Policies advance a logical clock by one per access, and every policy is
+// observable through the shared CacheObservable interface (src/obs/): the
+// base class tallies hits/misses itself and the Notify* helpers below tally
+// admissions, evictions, lazy promotions, quick demotions, and ghost hits
+// into plain uint64_t counters, snapshotted by Stats(). An optional
+// AccessEventSink additionally observes each event with its logical
+// timestamp; with no sink attached each event site costs one predictable
+// branch (see src/obs/access_event.h for the contract). The simulator uses
+// a sink to compute the per-object resource consumption of Fig. 3
+// ((t_evicted - t_inserted) / cache_size per residency).
 
 #ifndef QDLP_SRC_POLICIES_EVICTION_POLICY_H_
 #define QDLP_SRC_POLICIES_EVICTION_POLICY_H_
@@ -17,29 +23,23 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
+#include "src/obs/access_event.h"
+#include "src/obs/cache_observable.h"
+#include "src/obs/cache_stats.h"
 #include "src/trace/trace.h"
 #include "src/util/check.h"
 #include "src/util/prefetch.h"
 
 namespace qdlp {
 
-class EvictionListener {
- public:
-  virtual ~EvictionListener() = default;
-  // `id` was admitted into cache space at logical time `time`.
-  virtual void OnInsert(ObjectId id, uint64_t time) = 0;
-  // `id` left cache space at logical time `time`.
-  virtual void OnEvict(ObjectId id, uint64_t time) = 0;
-};
-
-class EvictionPolicy {
+class EvictionPolicy : public CacheObservable {
  public:
   EvictionPolicy(size_t capacity, std::string name)
       : capacity_(capacity), name_(std::move(name)) {
     QDLP_CHECK(capacity >= 1);
   }
-  virtual ~EvictionPolicy() = default;
 
   EvictionPolicy(const EvictionPolicy&) = delete;
   EvictionPolicy& operator=(const EvictionPolicy&) = delete;
@@ -54,6 +54,16 @@ class EvictionPolicy {
   bool Access(ObjectId id) {
     ++now_;
     const bool hit = OnAccess(id);
+    // Only hits are stored; misses is the identity now_ - hits, derived in
+    // Stats(). One branchless add is all the always-on counting costs here.
+    counters_.hits += static_cast<uint64_t>(hit);
+    if (sink_ != nullptr) {
+      if (hit) {
+        sink_->OnHit(id, now_);
+      } else {
+        sink_->OnMiss(id, now_);
+      }
+    }
 #ifdef QDLP_CHECK_INVARIANTS
     CheckInvariants();
 #endif
@@ -80,58 +90,113 @@ class EvictionPolicy {
   // aborting on violation. O(size) — test/debug machinery, not a hot-path
   // operation. The default is a no-op; policies with nontrivial internal
   // state override it. Always compiled (the correctness harness calls it
-  // explicitly in every build mode); only the per-access hook above is
-  // gated behind QDLP_CHECK_INVARIANTS.
+  // explicitly in every build mode); only the per-access hook in Access()
+  // is gated behind QDLP_CHECK_INVARIANTS.
+  //
+  // The non-const overload is the CacheObservable entry point: it runs the
+  // structural checks AND the telemetry consistency checks below.
+  void CheckInvariants() final {
+    static_cast<const EvictionPolicy*>(this)->CheckInvariants();
+    CheckStatsConsistency();
+  }
   virtual void CheckInvariants() const {}
+
+  // Telemetry counter consistency: the counters are not a second
+  // bookkeeping system that can drift — they must agree with the policy's
+  // actual occupancy at every quiescent point.
+  void CheckStatsConsistency() const {
+    QDLP_CHECK(counters_.hits <= now_);
+    const uint64_t misses = now_ - counters_.hits;
+    QDLP_CHECK(counters_.inserts <= misses);
+    QDLP_CHECK(counters_.inserts >= counters_.evictions);
+    QDLP_CHECK(counters_.inserts - counters_.evictions == size());
+    QDLP_CHECK(counters_.ghost_hits <= misses);
+  }
 
   // Number of objects currently holding cache space.
   virtual size_t size() const = 0;
   // True when `id` currently holds cache space (ghost entries don't count).
   virtual bool Contains(ObjectId id) const = 0;
 
-  // Approximate bytes of eviction metadata currently held (slabs, index
-  // tables, ghost entries — not cached data). Purely observational: the
-  // throughput benches divide it by capacity for the bytes/object column in
-  // BENCH_throughput.json (see docs/PERFORMANCE.md). 0 = not instrumented.
-  virtual size_t ApproxMetadataBytes() const { return 0; }
-
   // User-controlled removal (§2, Fig 1: removal is one of the four cache
   // operations — invoked directly or via TTL). Returns true if the object
   // was resident and has been removed. Policies that don't implement
   // removal return false without touching state; callers can check
-  // SupportsRemoval() and fall back to lazy invalidation.
+  // SupportsRemoval() and fall back to lazy invalidation. Removals count
+  // as evictions in Stats() (the object left cache space).
   virtual bool Remove(ObjectId id) {
     (void)id;
     return false;
   }
   virtual bool SupportsRemoval() const { return false; }
 
-  size_t capacity() const { return capacity_; }
-  const std::string& name() const { return name_; }
+  // CacheObservable:
+  std::string_view name() const final { return name_; }
+  size_t capacity() const final { return capacity_; }
+  CacheStats Stats() const final {
+    CacheStats stats = counters_;
+    stats.requests = now_;
+    stats.misses = now_ - counters_.hits;  // identity; not stored per access
+    stats.size = size();
+    FillOccupancy(stats);
+    return stats;
+  }
+
   uint64_t now() const { return now_; }
 
-  void set_eviction_listener(EvictionListener* listener) { listener_ = listener; }
+  void set_event_sink(AccessEventSink* sink) { sink_ = sink; }
+  AccessEventSink* event_sink() const { return sink_; }
 
  protected:
   virtual bool OnAccess(ObjectId id) = 0;
 
+  // Composite policies (QD wrapper, S3-FIFO) override to report per-queue
+  // occupancy (probation/main/ghost) in the Stats() snapshot. Also the
+  // hook for counters that are identities rather than stored state (LRU
+  // derives promotions == hits here to keep the store off its hit path);
+  // the flow counters are already copied in when this runs.
+  virtual void FillOccupancy(CacheStats& stats) const { (void)stats; }
+
   void NotifyInsert(ObjectId id) {
-    if (listener_ != nullptr) {
-      listener_->OnInsert(id, now_);
+    ++counters_.inserts;
+    if (sink_ != nullptr) {
+      sink_->OnInsert(id, now_);
     }
   }
   void NotifyEvict(ObjectId id) {
-    if (listener_ != nullptr) {
-      listener_->OnEvict(id, now_);
+    ++counters_.evictions;
+    if (sink_ != nullptr) {
+      sink_->OnEvict(id, now_);
     }
   }
-  EvictionListener* listener() const { return listener_; }
+  void NotifyPromote(ObjectId id) {
+    ++counters_.promotions;
+    if (sink_ != nullptr) {
+      sink_->OnPromote(id, now_);
+    }
+  }
+  void NotifyDemote(ObjectId id) {
+    ++counters_.demotions;
+    if (sink_ != nullptr) {
+      sink_->OnDemote(id, now_);
+    }
+  }
+  void NotifyGhostHit(ObjectId id) {
+    ++counters_.ghost_hits;
+    if (sink_ != nullptr) {
+      sink_->OnGhostHit(id, now_);
+    }
+  }
+
+  // Raw counter reads for policies that expose ad-hoc accessors.
+  const CacheStats& counters() const { return counters_; }
 
  private:
   size_t capacity_;
   std::string name_;
   uint64_t now_ = 0;
-  EvictionListener* listener_ = nullptr;
+  CacheStats counters_;  // flow counters; occupancy filled at Stats() time
+  AccessEventSink* sink_ = nullptr;
 };
 
 // The prefetch-pipelined batch loop shared by the index-backed policies'

@@ -80,12 +80,14 @@ bool LecarPolicy::OnAccess(ObjectId id) {
   if (lru_hist != lru_history_.index.end()) {
     const uint64_t evicted_at = lru_hist->second;
     lru_history_.Erase(id);
+    NotifyGhostHit(id);
     UpdateWeights(w_lru_, w_lfu_, evicted_at);
   } else {
     const auto lfu_hist = lfu_history_.index.find(id);
     if (lfu_hist != lfu_history_.index.end()) {
       const uint64_t evicted_at = lfu_hist->second;
       lfu_history_.Erase(id);
+      NotifyGhostHit(id);
       UpdateWeights(w_lfu_, w_lru_, evicted_at);
     }
   }

@@ -164,6 +164,7 @@ void LirsPolicy::DemoteStackBottom() {
   entry.in_stack = false;
   entry.state = State::kHirResident;
   --lir_count_;
+  NotifyDemote(bottom);
   PushQueueBack(bottom, entry);
   PruneStack();
 }
@@ -204,6 +205,7 @@ bool LirsPolicy::OnAccess(ObjectId id) {
       PushStackTop(id, entry);
       entry.state = State::kLir;
       ++lir_count_;
+      NotifyPromote(id);
       RemoveFromQueue(id, entry);
       if (lir_count_ > lir_capacity_) {
         DemoteStackBottom();
@@ -237,6 +239,7 @@ bool LirsPolicy::OnAccess(ObjectId id) {
 
   if (it != index_.end() && it->second.state == State::kHirNonResident) {
     // The block's reuse distance beats the coldest LIR block: admit as LIR.
+    NotifyGhostHit(id);
     Entry& entry = it->second;
     entry.state = State::kLir;
     --nonresident_count_;

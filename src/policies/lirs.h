@@ -48,6 +48,11 @@ class LirsPolicy : public EvictionPolicy {
 
  protected:
   bool OnAccess(ObjectId id) override;
+  void FillOccupancy(CacheStats& stats) const override {
+    stats.probation_size = resident_count_ - lir_count_;  // resident HIR (Q)
+    stats.main_size = lir_count_;
+    stats.ghost_size = nonresident_count_;
+  }
 
  private:
   enum class State {

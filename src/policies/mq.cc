@@ -105,6 +105,7 @@ bool MqPolicy::OnAccess(ObjectId id) {
   const auto ghost_it = ghost_index_.find(id);
   if (ghost_it != ghost_index_.end()) {
     // Remembered frequency: the block rejoins at its old level + this access.
+    NotifyGhostHit(id);
     entry.frequency = ghost_it->second + 1;
     ghost_index_.erase(ghost_it);
   } else {

@@ -39,6 +39,7 @@ bool SlruPolicy::OnAccess(ObjectId id) {
     protected_.push_front(id);
     entry.segment = Segment::kProtected;
     entry.position = protected_.begin();
+    NotifyPromote(id);
     if (protected_.size() > protected_capacity_) {
       const ObjectId demoted = protected_.back();
       protected_.pop_back();
@@ -46,6 +47,7 @@ bool SlruPolicy::OnAccess(ObjectId id) {
       Entry& demoted_entry = index_.at(demoted);
       demoted_entry.segment = Segment::kProbation;
       demoted_entry.position = probation_.begin();
+      NotifyDemote(demoted);
     }
     return true;
   }
@@ -59,6 +61,7 @@ bool SlruPolicy::OnAccess(ObjectId id) {
       Entry& demoted_entry = index_.at(demoted);
       demoted_entry.segment = Segment::kProbation;
       demoted_entry.position = probation_.begin();
+      NotifyDemote(demoted);
     }
     EvictFromProbation();
   }

@@ -30,6 +30,10 @@ class SlruPolicy : public EvictionPolicy {
 
  protected:
   bool OnAccess(ObjectId id) override;
+  void FillOccupancy(CacheStats& stats) const override {
+    stats.probation_size = probation_.size();
+    stats.main_size = protected_.size();
+  }
 
  private:
   enum class Segment { kProbation, kProtected };

@@ -37,6 +37,7 @@ void TwoQPolicy::Reclaim() {
     const ObjectId victim = a1in_.front();
     a1in_.pop_front();
     a1in_index_.erase(victim);
+    NotifyDemote(victim);
     NotifyEvict(victim);
     PushGhost(victim);
     return;
@@ -53,6 +54,7 @@ bool TwoQPolicy::OnAccess(ObjectId id) {
   const auto am_it = am_index_.find(id);
   if (am_it != am_index_.end()) {
     am_.splice(am_.begin(), am_, am_it->second);
+    NotifyPromote(id);
     return true;
   }
   if (a1in_index_.contains(id)) {
@@ -65,6 +67,7 @@ bool TwoQPolicy::OnAccess(ObjectId id) {
   }
   if (a1out_index_.contains(id)) {
     // Second chance proven: admit directly into Am.
+    NotifyGhostHit(id);
     a1out_index_.erase(id);
     // Lazily remove from the a1out_ deque: entries are skipped when popped.
     am_.push_front(id);

@@ -37,6 +37,11 @@ class TwoQPolicy : public EvictionPolicy {
 
  protected:
   bool OnAccess(ObjectId id) override;
+  void FillOccupancy(CacheStats& stats) const override {
+    stats.probation_size = a1in_index_.size();
+    stats.main_size = am_index_.size();
+    stats.ghost_size = a1out_index_.size();
+  }
 
  private:
   // Frees one slot of cache space following the 2Q "reclaimfor" rule.

@@ -74,6 +74,7 @@ void WTinyLfuPolicy::PromoteToProtected(ObjectId id, Entry& entry) {
   protected_.push_front(id);
   entry.segment = Segment::kProtected;
   entry.position = protected_.begin();
+  NotifyPromote(id);
   if (protected_.size() > protected_capacity_) {
     const ObjectId demoted = protected_.back();
     protected_.pop_back();
@@ -81,6 +82,7 @@ void WTinyLfuPolicy::PromoteToProtected(ObjectId id, Entry& entry) {
     Entry& demoted_entry = index_.at(demoted);
     demoted_entry.segment = Segment::kProbation;
     demoted_entry.position = probation_.begin();
+    NotifyDemote(demoted);
   }
 }
 
@@ -100,6 +102,7 @@ void WTinyLfuPolicy::CycleWindowEvictee(ObjectId id) {
     Entry& demoted_entry = index_.at(demoted);
     demoted_entry.segment = Segment::kProbation;
     demoted_entry.position = probation_.begin();
+    NotifyDemote(demoted);
   }
   const ObjectId victim = probation_.back();
   if (EstimateFrequency(id) > EstimateFrequency(victim)) {

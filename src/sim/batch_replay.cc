@@ -13,7 +13,6 @@ namespace {
 
 struct Cell {
   std::unique_ptr<EvictionPolicy> policy;
-  uint64_t hits = 0;
   bool dense_ids = false;  // consumes the u32 stream; else translated ids
 };
 
@@ -68,14 +67,14 @@ std::vector<SimResult> BatchReplayTrace(
       }
     }
     for (Cell& cell : live) {
+      // The policies count their own hits (Stats(), read below); the replay
+      // loop only drives accesses.
       if (cell.dense_ids) {
-        cell.hits += cell.policy->AccessBatch(stream + pos, len);
+        cell.policy->AccessBatch(stream + pos, len);
       } else {
-        uint64_t hits = 0;
         for (size_t i = 0; i < len; ++i) {
-          hits += cell.policy->Access(scratch[i]) ? 1 : 0;
+          cell.policy->Access(scratch[i]);
         }
-        cell.hits += hits;
       }
     }
   }
@@ -88,7 +87,9 @@ std::vector<SimResult> BatchReplayTrace(
     result.trace = dense.name;
     result.cache_size = live[i].policy->capacity();
     result.requests = num_requests;
-    result.hits = live[i].hits;
+    result.stats = live[i].policy->Stats();
+    result.hits = result.stats.hits;
+    QDLP_CHECK(result.stats.requests == num_requests);
     results.push_back(std::move(result));
   }
   return results;

@@ -77,7 +77,7 @@ ResidencyReport RunResidencyExperiment(const std::string& policy_name,
   auto policy = MakePolicy(policy_name, cache_size, &trace.requests);
   QDLP_CHECK_MSG(policy != nullptr, policy_name.c_str());
   ResidencyAccountant accountant;
-  policy->set_eviction_listener(&accountant);
+  policy->set_event_sink(&accountant);
   const SimResult result = ReplayTrace(*policy, trace);
   accountant.FinalizeAt(policy->now());
   ResidencyReport report;

@@ -3,7 +3,8 @@
 // The paper measures how much cache resource each algorithm spends on
 // objects of different popularity: R_obj = Σ residencies (t_evicted -
 // t_inserted) / cache_size. Efficient algorithms spend little on unpopular
-// objects. ResidencyAccountant listens to insert/evict events during replay;
+// objects. ResidencyAccountant is an AccessEventSink observing insert/evict
+// events during replay (the other events are left at their no-op defaults);
 // ResourceByPopularityDecile then groups objects into popularity deciles
 // (decile 0 = most requested) and reports each decile's share of the total
 // spent space-time.
@@ -20,7 +21,7 @@
 
 namespace qdlp {
 
-class ResidencyAccountant : public EvictionListener {
+class ResidencyAccountant : public AccessEventSink {
  public:
   void OnInsert(ObjectId id, uint64_t time) override;
   void OnEvict(ObjectId id, uint64_t time) override;

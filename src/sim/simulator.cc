@@ -14,11 +14,15 @@ SimResult ReplayTrace(EvictionPolicy& policy, const Trace& trace) {
   result.trace = trace.name;
   result.cache_size = policy.capacity();
   result.requests = trace.requests.size();
-  uint64_t hits = 0;
+  // The policy counts its own hits; the replay loop only drives accesses.
+  // A delta keeps the result correct even for a pre-warmed policy.
+  const CacheStats before = policy.Stats();
   for (const ObjectId id : trace.requests) {
-    hits += policy.Access(id) ? 1 : 0;
+    policy.Access(id);
   }
-  result.hits = hits;
+  result.stats = policy.Stats().DeltaSince(before);
+  result.hits = result.stats.hits;
+  QDLP_CHECK(result.stats.requests == result.requests);
   return result;
 }
 

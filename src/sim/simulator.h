@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "src/obs/cache_stats.h"
 #include "src/policies/eviction_policy.h"
 #include "src/trace/trace.h"
 
@@ -20,6 +21,9 @@ struct SimResult {
   uint64_t requests = 0;
   uint64_t hits = 0;
   size_t cache_size = 0;
+  // The policy's own telemetry over this replay (delta of Stats() across
+  // the run; occupancy fields are the end-of-replay snapshot).
+  CacheStats stats;
 
   uint64_t misses() const { return requests - hits; }
   double miss_ratio() const {

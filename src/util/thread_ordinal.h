@@ -1,0 +1,22 @@
+// Process-wide dense thread ordinal: the first thread to ask gets 0, the
+// next 1, and so on, cached thread-locally. Subsystems that stripe per-thread
+// state (MPSC insert buffers, telemetry counter cells) use it to give each
+// thread a stable private stripe without any registration protocol.
+
+#ifndef QDLP_SRC_UTIL_THREAD_ORDINAL_H_
+#define QDLP_SRC_UTIL_THREAD_ORDINAL_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace qdlp {
+
+inline uint32_t ThreadOrdinal() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace qdlp
+
+#endif  // QDLP_SRC_UTIL_THREAD_ORDINAL_H_

@@ -130,6 +130,12 @@ TEST_P(ExactDifferentialTest, MatchesOracleRequestForRequest) {
       oracle::RunDifferential(subject, *model, trace);
   ASSERT_TRUE(outcome.ok) << policy_name << ": " << outcome.failure;
   EXPECT_EQ(outcome.subject_hits, outcome.oracle_hits);
+  // The policy's own telemetry is pinned to the runner's external tally.
+  const CacheStats stats = policy->Stats();
+  EXPECT_EQ(stats.requests, outcome.requests) << policy_name;
+  EXPECT_EQ(stats.hits, outcome.subject_hits) << policy_name;
+  EXPECT_EQ(stats.misses, outcome.requests - outcome.subject_hits)
+      << policy_name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -181,6 +187,12 @@ TEST_P(ConcurrentDifferentialTest, MatchesOracleRequestForRequest) {
       oracle::RunDifferential(subject, *model, trace);
   ASSERT_TRUE(outcome.ok) << cache_name << ": " << outcome.failure;
   EXPECT_EQ(outcome.subject_hits, outcome.oracle_hits);
+  // Single-threaded, the concurrent caches' telemetry is exact too.
+  const CacheStats stats = cache->Stats();
+  EXPECT_EQ(stats.requests, outcome.requests) << cache_name;
+  EXPECT_EQ(stats.hits, outcome.subject_hits) << cache_name;
+  EXPECT_EQ(stats.misses, outcome.requests - outcome.subject_hits)
+      << cache_name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -220,6 +232,11 @@ TEST_P(BoundedDifferentialTest, StaysWithinDivergenceBudgetOfLru) {
   const oracle::DiffOutcome outcome =
       oracle::RunDifferential(subject, model, trace, options);
   ASSERT_TRUE(outcome.ok) << policy_name << ": " << outcome.failure;
+  // Even without per-request oracle agreement, the adaptive policies'
+  // counters must match the runner's external tally of their own outcomes.
+  const CacheStats stats = policy->Stats();
+  EXPECT_EQ(stats.requests, outcome.requests) << policy_name;
+  EXPECT_EQ(stats.hits, outcome.subject_hits) << policy_name;
 }
 
 INSTANTIATE_TEST_SUITE_P(

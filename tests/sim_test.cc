@@ -205,7 +205,7 @@ TEST(ResidencyTest, ListenerIntegrationConservation) {
   constexpr size_t kCapacity = 100;
   auto policy = MakePolicy("lru", kCapacity, &trace.requests);
   ResidencyAccountant accountant;
-  policy->set_eviction_listener(&accountant);
+  policy->set_event_sink(&accountant);
   ReplayTrace(*policy, trace);
   accountant.FinalizeAt(policy->now());
   const double elapsed = static_cast<double>(policy->now());

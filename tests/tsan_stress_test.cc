@@ -36,6 +36,23 @@ constexpr uint64_t kUniverse = 4096;  // ids overlap heavily across threads
 void HammerFromManyThreads(ConcurrentCache& cache) {
   std::atomic<uint64_t> total_hits{0};
   std::atomic<uint64_t> total_ops{0};
+  std::atomic<bool> stop_stats{false};
+
+  // A telemetry reader storms Stats() for the whole run: snapshots must be
+  // safe concurrently with the lock-free hit path and the eviction lock
+  // (under TSan this is the counters' and occupancy reads' race check).
+  std::thread stats_reader([&] {
+    uint64_t snapshots = 0;
+    while (!stop_stats.load(std::memory_order_acquire)) {
+      const CacheStats stats = cache.Stats();
+      // Each Get() counts exactly one of hit/miss, so even a torn-free
+      // relaxed snapshot can never conjure more of one than of both.
+      EXPECT_LE(stats.hits, stats.requests);
+      EXPECT_LE(stats.misses, stats.requests);
+      ++snapshots;
+    }
+    EXPECT_GT(snapshots, 0u);
+  });
 
   const auto worker = [&](int thread_index) {
     Rng rng(0xabcdef01u + static_cast<uint64_t>(thread_index));
@@ -69,10 +86,19 @@ void HammerFromManyThreads(ConcurrentCache& cache) {
     cache.CheckInvariants();
   }
 
+  stop_stats.store(true, std::memory_order_release);
+  stats_reader.join();
+
   EXPECT_EQ(total_ops.load(), 2ull * kThreads * kOpsPerThread);
   // A cache of this size over this stream must produce plenty of hits; a
   // near-zero count means Get() stopped admitting or finding anything.
   EXPECT_GT(total_hits.load(), total_ops.load() / 10) << cache.name();
+
+  // Quiescent: the counters must have counted every Get() exactly once.
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.requests, total_ops.load()) << cache.name();
+  EXPECT_EQ(stats.hits, total_hits.load()) << cache.name();
+  EXPECT_EQ(stats.hits + stats.misses, stats.requests) << cache.name();
 }
 
 TEST(TsanStressTest, GlobalLockLru) {

@@ -3,7 +3,7 @@
 
 Usage:
     tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.15]
-        [--require NAME:MIN ...]
+        [--require NAME:MIN ...] [--check-stats]
 
 Both files must be schema_version 1 outputs of the bench binaries (see
 bench/bench_json.h). Results are keyed by the full benchmark name (which
@@ -19,6 +19,12 @@ machine-independent rows such as sweep_throughput's "sweep/speedup" ratio,
 where a hard floor is meaningful on any runner; a required name missing
 from the candidate is a failure.
 
+--check-stats validates the candidate's telemetry: every result row must
+carry a "stats" block (the cache's own Stats() counters, see
+docs/OBSERVABILITY.md) with all integer counter fields present,
+hits + misses == requests, and a nonzero request count. This is the CI
+bench-smoke guard against a bench binary silently losing its stats wiring.
+
 Exit status: 0 = no regression, 1 = at least one regression or unmet
 --require floor, 2 = bad input.
 """
@@ -26,6 +32,36 @@ Exit status: 0 = no regression, 1 = at least one regression or unmet
 import argparse
 import json
 import sys
+
+# Keep in sync with BenchStatsFields() in bench/bench_json.h.
+STATS_FIELDS = (
+    "requests", "hits", "misses", "inserts", "evictions", "promotions",
+    "demotions", "ghost_hits", "size", "probation_size", "main_size",
+    "ghost_size",
+)
+
+
+def check_stats_block(name, row):
+    """Returns a list of problems with the row's "stats" block."""
+    stats = row.get("stats")
+    if not isinstance(stats, dict):
+        return [f"{name}: missing stats block"]
+    problems = []
+    for field in STATS_FIELDS:
+        value = stats.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(
+                f"{name}: stats.{field} is {value!r}, expected a"
+                " non-negative integer")
+    if problems:
+        return problems
+    if stats["requests"] == 0:
+        problems.append(f"{name}: stats.requests is 0 (nothing measured)")
+    if stats["hits"] + stats["misses"] != stats["requests"]:
+        problems.append(
+            f"{name}: stats.hits + stats.misses != stats.requests "
+            f"({stats['hits']} + {stats['misses']} != {stats['requests']})")
+    return problems
 
 
 def load_results(path):
@@ -63,6 +99,9 @@ def main(argv=None):
         "--require", action="append", default=[], metavar="NAME:MIN",
         help="absolute ops_per_sec floor for one benchmark in the candidate"
              " (repeatable)")
+    parser.add_argument(
+        "--check-stats", action="store_true",
+        help="require a well-formed stats block on every candidate row")
     args = parser.parse_args(argv)
     if not 0.0 <= args.threshold < 1.0:
         parser.error("--threshold must be in [0, 1)")
@@ -111,6 +150,14 @@ def main(argv=None):
     for name in only_cand:
         print(f"note: {name} only in candidate (new)")
 
+    stats_problems = []
+    if args.check_stats:
+        for name in sorted(candidate):
+            stats_problems.extend(check_stats_block(name, candidate[name]))
+        if not stats_problems:
+            print(f"stats: {len(candidate)} candidate row(s) carry a "
+                  "consistent stats block")
+
     unmet = []
     for name, minimum in sorted(floors.items()):
         if name not in candidate:
@@ -122,7 +169,7 @@ def main(argv=None):
         if ops < minimum:
             unmet.append(f"{name}: {ops:g} < floor {minimum:g}")
 
-    if regressions or unmet:
+    if regressions or unmet or stats_problems:
         if regressions:
             print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
                   f"than {args.threshold:.0%}:", file=sys.stderr)
@@ -133,10 +180,16 @@ def main(argv=None):
                   file=sys.stderr)
             for line in unmet:
                 print(f"  {line}", file=sys.stderr)
+        if stats_problems:
+            print(f"\nFAIL: {len(stats_problems)} stats block problem(s):",
+                  file=sys.stderr)
+            for line in stats_problems:
+                print(f"  {line}", file=sys.stderr)
         return 1
     print(f"\nOK: {len(common)} benchmark(s) within {args.threshold:.0%} of "
           "baseline"
-          + (f", {len(floors)} floor(s) met." if floors else "."))
+          + (f", {len(floors)} floor(s) met." if floors else ".")
+          + (" Stats blocks consistent." if args.check_stats else ""))
     return 0
 
 
